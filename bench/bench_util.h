@@ -1,0 +1,64 @@
+// Shared helpers for the table/figure reproduction harnesses.
+
+#ifndef OASIS_BENCH_BENCH_UTIL_H_
+#define OASIS_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "src/core/oasis.h"
+
+namespace oasis {
+
+// The paper's standard rack: 30 home hosts x 30 VMs plus N consolidation
+// hosts (§5.1).
+inline SimulationConfig PaperCluster(ConsolidationPolicy policy, int consolidation_hosts,
+                                     DayKind day) {
+  SimulationConfig config;
+  config.cluster.num_home_hosts = 30;
+  config.cluster.num_consolidation_hosts = consolidation_hosts;
+  config.cluster.vms_per_home = 30;
+  config.cluster.policy = policy;
+  config.day = day;
+  config.seed = 20160418;  // EuroSys'16 opening day
+  return config;
+}
+
+// Number of repetitions per datapoint (§5.3 averages five runs). Override
+// with OASIS_BENCH_RUNS for quicker smoke runs.
+inline int BenchRuns() {
+  if (const char* env = std::getenv("OASIS_BENCH_RUNS")) {
+    int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  return 5;
+}
+
+// When OASIS_CSV_DIR is set, benches also write their data series as
+// <dir>/<name>.csv for external plotting. Returns nullptr otherwise.
+inline std::unique_ptr<std::ofstream> CsvFileFor(const std::string& name) {
+  const char* dir = std::getenv("OASIS_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return nullptr;
+  }
+  auto file = std::make_unique<std::ofstream>(std::string(dir) + "/" + name + ".csv");
+  if (!*file) {
+    return nullptr;
+  }
+  return file;
+}
+
+inline const ConsolidationPolicy kAllPolicies[] = {
+    ConsolidationPolicy::kOnlyPartial,
+    ConsolidationPolicy::kDefault,
+    ConsolidationPolicy::kFullToPartial,
+    ConsolidationPolicy::kNewHome,
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+// Figure 8: energy savings for one simulated day on a 30-home-host cluster,
+// as the number of consolidation hosts varies from 2 to 12, for all four
+// policies, weekday and weekend panels. Each datapoint averages five runs.
+//
+// Paper reference points: OnlyPartial ~6%; Default only marginally better;
+// FulltoPartial up to 28% weekday / 43% weekend; NewHome adds nothing beyond
+// FulltoPartial; savings level off at ~4 consolidation hosts.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/csv.h"
+#include "src/common/table.h"
+
+namespace oasis {
+namespace {
+
+void PrintPanel(DayKind day, int runs) {
+  std::printf("\n-- %s (mean +/- stddev over %d runs) --\n", DayKindName(day), runs);
+  auto csv_file = CsvFileFor(std::string("fig08_") + DayKindName(day));
+  std::unique_ptr<CsvWriter> csv;
+  if (csv_file) {
+    csv = std::make_unique<CsvWriter>(
+        *csv_file,
+        std::vector<std::string>{"policy", "consolidation_hosts", "savings", "stddev"});
+  }
+  TextTable table({"policy", "2 hosts", "4 hosts", "6 hosts", "8 hosts", "10 hosts",
+                   "12 hosts"});
+  for (ConsolidationPolicy policy : kAllPolicies) {
+    std::vector<std::string> row{ConsolidationPolicyName(policy)};
+    for (int hosts : {2, 4, 6, 8, 10, 12}) {
+      RepeatedRunResult result = RunRepeated(PaperCluster(policy, hosts, day), runs);
+      row.push_back(TextTable::Pct(result.savings.mean()) + " +/- " +
+                    TextTable::Pct(result.savings.sample_stddev()));
+      if (csv) {
+        csv->WriteRow({ConsolidationPolicyName(policy), std::to_string(hosts),
+                       TextTable::Num(result.savings.mean(), 4),
+                       TextTable::Num(result.savings.sample_stddev(), 4)});
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace oasis
+
+int main() {
+  using namespace oasis;
+  int runs = BenchRuns();
+  PrintExperimentHeader(std::cout, "Figure 8 - Energy savings vs consolidation hosts",
+                        "30 home hosts x 30 VMs; savings normalized to all home hosts "
+                        "left powered (paper: FulltoPartial 28% weekday / 43% weekend, "
+                        "leveling off at 4 consolidation hosts).");
+  PrintPanel(DayKind::kWeekday, runs);
+  PrintPanel(DayKind::kWeekend, runs);
+  return 0;
+}

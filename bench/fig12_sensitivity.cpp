@@ -1,0 +1,48 @@
+// Figure 12: sensitivity of energy savings to cluster shape. The 900 VMs are
+// redistributed over fewer, denser home hosts (30x30, 20x45, 18x50, 15x60,
+// 10x90) with 2-4 consolidation hosts.
+//
+// Paper reference point: savings are essentially independent of how many VMs
+// each home host carries.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace oasis;
+  int runs = std::max(1, BenchRuns() - 2);
+  PrintExperimentHeader(std::cout, "Figure 12 - Sensitivity to cluster shape",
+                        "900 VMs total, FulltoPartial; rows are home-hosts x VMs-per-host, "
+                        "columns add consolidation hosts (paper: savings are flat).");
+
+  struct Shape {
+    int homes;
+    int vms_per_home;
+  };
+  const Shape shapes[] = {{30, 30}, {20, 45}, {18, 50}, {15, 60}, {10, 90}};
+
+  for (DayKind day : {DayKind::kWeekday, DayKind::kWeekend}) {
+    std::printf("\n-- %s --\n", DayKindName(day));
+    TextTable table({"cluster shape", "+2 hosts", "+3 hosts", "+4 hosts"});
+    for (const Shape& shape : shapes) {
+      std::vector<std::string> row{std::to_string(shape.homes) + " x " +
+                                   std::to_string(shape.vms_per_home)};
+      for (int cons : {2, 3, 4}) {
+        SimulationConfig config = PaperCluster(ConsolidationPolicy::kFullToPartial, cons, day);
+        config.cluster.num_home_hosts = shape.homes;
+        // Denser home hosts are bigger servers: capacity (and, proportionally,
+        // host power) scales with the VM count, as §5.6's "vary the server
+        // capacity" implies.
+        config.cluster.SetVmsPerHome(shape.vms_per_home);
+        RepeatedRunResult result = RunRepeated(config, runs);
+        row.push_back(TextTable::Pct(result.savings.mean()));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the substrates the simulations sit on:
+// the LZ compressor (per page class), event queue, bitmaps, memory images,
+// working-set sampling, trace generation and a whole cluster day.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/manager.h"
+#include "src/core/oasis.h"
+#include "src/mem/compression.h"
+#include "src/mem/memory_image.h"
+#include "src/mem/page_content.h"
+#include "src/mem/working_set.h"
+#include "src/sim/event_queue.h"
+#include "src/trace/trace_generator.h"
+
+namespace oasis {
+namespace {
+
+void BM_LzCompressPage(benchmark::State& state) {
+  PageClass cls = static_cast<PageClass>(state.range(0));
+  PageClassMix mix{0, 0, 0, 0};
+  switch (cls) {
+    case PageClass::kZero:
+      mix.zero = 1.0;
+      break;
+    case PageClass::kText:
+      mix.text = 1.0;
+      break;
+    case PageClass::kCode:
+      mix.code = 1.0;
+      break;
+    case PageClass::kRandom:
+      mix.random = 1.0;
+      break;
+  }
+  PageContentGenerator gen(1, mix);
+  PageBytes page = gen.Generate(0);
+  size_t compressed = 0;
+  for (auto _ : state) {
+    compressed = LzCompress(page).size();
+    benchmark::DoNotOptimize(compressed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kPageSize));
+  state.SetLabel(std::string(PageClassName(cls)) + " ratio=" +
+                 std::to_string(static_cast<double>(compressed) / kPageSize));
+}
+BENCHMARK(BM_LzCompressPage)->DenseRange(0, 3);
+
+void BM_LzRoundTrip(benchmark::State& state) {
+  PageContentGenerator gen(2);
+  PageBytes page = gen.Generate(1);
+  for (auto _ : state) {
+    auto compressed = LzCompress(page);
+    auto out = LzDecompress(compressed, page.size());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kPageSize));
+}
+BENCHMARK(BM_LzRoundTrip);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.Schedule(SimTime::Micros((i * 7919) % 100000), [] {});
+    }
+    while (!q.empty()) {
+      q.Pop();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_BitmapCount(benchmark::State& state) {
+  Bitmap bitmap(1u << 20);
+  for (size_t i = 0; i < bitmap.size(); i += 3) {
+    bitmap.Set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitmap.Count());
+  }
+}
+BENCHMARK(BM_BitmapCount);
+
+void BM_MemoryImageTouch(benchmark::State& state) {
+  for (auto _ : state) {
+    MemoryImage img(1 * kGiB, 3);
+    img.TouchNewPages(static_cast<uint64_t>(state.range(0)));
+    benchmark::DoNotOptimize(img.touched_pages());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MemoryImageTouch)->Arg(10000)->Arg(100000);
+
+void BM_WorkingSetSample(benchmark::State& state) {
+  WorkingSetSampler sampler(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(4 * kGiB));
+  }
+}
+BENCHMARK(BM_WorkingSetSample);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  TraceGenerator gen(TraceGeneratorConfig{}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.GenerateUserDay(DayKind::kWeekday));
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_ClusterDaySimulation(benchmark::State& state) {
+  SimulationConfig config;
+  config.cluster.num_home_hosts = static_cast<int>(state.range(0));
+  config.cluster.num_consolidation_hosts = 4;
+  config.cluster.vms_per_home = 30;
+  for (auto _ : state) {
+    ClusterSimulation sim(config);
+    benchmark::DoNotOptimize(sim.Run().metrics.TotalEnergy());
+  }
+  state.SetLabel(std::to_string(config.cluster.TotalVms()) + " VMs/day");
+}
+BENCHMARK(BM_ClusterDaySimulation)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace oasis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+#include "src/cluster/cluster_types.h"
+
+namespace oasis {
+
+const char* ConsolidationPolicyName(ConsolidationPolicy p) {
+  switch (p) {
+    case ConsolidationPolicy::kOnlyPartial:
+      return "OnlyPartial";
+    case ConsolidationPolicy::kDefault:
+      return "Default";
+    case ConsolidationPolicy::kFullToPartial:
+      return "FulltoPartial";
+    case ConsolidationPolicy::kNewHome:
+      return "NewHome";
+  }
+  return "?";
+}
+
+Status ClusterConfig::Validate() const {
+  if (num_home_hosts <= 0 || num_consolidation_hosts < 0 || vms_per_home <= 0) {
+    return Status::InvalidArgument("host/VM counts must be positive");
+  }
+  if (vm_memory_bytes == 0 || host_memory_bytes == 0) {
+    return Status::InvalidArgument("memory sizes must be positive");
+  }
+  if (static_cast<uint64_t>(vms_per_home) * vm_memory_bytes > host_memory_bytes) {
+    return Status::InvalidArgument(
+        "home hosts cannot fit their own VMs: " + std::to_string(vms_per_home) + " x " +
+        FormatBytes(vm_memory_bytes) + " > " + FormatBytes(host_memory_bytes) +
+        " (use SetVmsPerHome to scale host capacity)");
+  }
+  if (planning_interval <= SimTime::Zero()) {
+    return Status::InvalidArgument("planning interval must be positive");
+  }
+  if (memory_overcommit < 1.0 || memory_overcommit > 3.0) {
+    return Status::InvalidArgument("memory_overcommit must be in [1, 3]");
+  }
+  if (host_cores <= 0 || cpu_overcommit < 1.0) {
+    return Status::InvalidArgument("host_cores must be positive, cpu_overcommit >= 1");
+  }
+  if (idle_smoothing_intervals < 0) {
+    return Status::InvalidArgument("idle smoothing must be non-negative");
+  }
+  return Status::Ok();
+}
+
+void ClusterConfig::SetVmsPerHome(int vms) {
+  double scale = static_cast<double>(vms) / 30.0;
+  vms_per_home = vms;
+  host_memory_bytes = static_cast<uint64_t>(128.0 * scale * kGiB);
+  // Bigger servers (more DIMMs, more sockets) draw capacity-proportional
+  // power in every state; the memory server board stays the same.
+  host_power.idle_watts *= scale;
+  host_power.watts_at_20_vms *= scale;
+  host_power.sleep_watts *= scale;
+  host_power.suspend_watts *= scale;
+  host_power.resume_watts *= scale;
+}
+
+}  // namespace oasis

@@ -1,0 +1,166 @@
+#include "src/cluster/host.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/log.h"
+
+namespace oasis {
+
+ClusterHost::ClusterHost(HostId id, HostKind kind, const ClusterConfig& config,
+                         bool initially_powered)
+    : id_(id),
+      kind_(kind),
+      power_(config.host_power),
+      ms_watts_(config.memory_server_power.TotalWatts()),
+      capacity_bytes_(static_cast<uint64_t>(static_cast<double>(config.host_memory_bytes) *
+                                            config.memory_overcommit)),
+      state_(initially_powered ? HostPowerState::kPowered : HostPowerState::kSleeping),
+      meter_(SimTime::Zero(),
+             config.host_power.Draw(initially_powered ? HostPowerState::kPowered
+                                                      : HostPowerState::kSleeping,
+                                    0)),
+      ms_meter_(SimTime::Zero(), 0.0),
+      ledger_(SimTime::Zero(),
+              initially_powered ? HostPowerState::kPowered : HostPowerState::kSleeping) {}
+
+void ClusterHost::Reserve(uint64_t bytes) {
+  assert(bytes <= AvailableBytes() && "host memory over-reserved");
+  reserved_bytes_ += bytes;
+}
+
+void ClusterHost::Release(uint64_t bytes) {
+  assert(bytes <= reserved_bytes_ && "releasing more than reserved");
+  reserved_bytes_ -= bytes;
+}
+
+void ClusterHost::AddVm(SimTime now, VmId vm) {
+  vms_.insert(vm);
+  meter_.SetDraw(now, CurrentDraw());
+}
+
+void ClusterHost::RemoveVm(SimTime now, VmId vm) {
+  vms_.erase(vm);
+  meter_.SetDraw(now, CurrentDraw());
+}
+
+void ClusterHost::SetActiveVms(SimTime now, int n) {
+  assert(n >= 0);
+  active_vms_ = n;
+  meter_.SetDraw(now, CurrentDraw());
+}
+
+Watts ClusterHost::CurrentDraw() const {
+  return power_.Draw(state_, static_cast<int>(vms_.size()));
+}
+
+void ClusterHost::Transition(SimTime now, HostPowerState next) {
+  state_ = next;
+  ledger_.Transition(now, next);
+  meter_.SetDraw(now, CurrentDraw());
+}
+
+void ClusterHost::RequestWake(Simulator& sim, std::function<void(SimTime)> on_powered) {
+  switch (state_) {
+    case HostPowerState::kPowered:
+      on_powered(sim.now());
+      return;
+    case HostPowerState::kResuming:
+      wake_waiters_.push_back(std::move(on_powered));
+      return;
+    case HostPowerState::kSuspending:
+      // The S3 entry cannot abort; the wake fires right after it completes.
+      wake_after_suspend_ = true;
+      wake_waiters_.push_back(std::move(on_powered));
+      return;
+    case HostPowerState::kSleeping:
+      break;
+  }
+  wake_waiters_.push_back(std::move(on_powered));
+  Transition(sim.now(), HostPowerState::kResuming);
+  uint64_t epoch = ++transition_epoch_;
+  sim.ScheduleAfter(power_.resume_latency, [this, &sim, epoch]() {
+    if (transition_epoch_ != epoch || state_ != HostPowerState::kResuming) {
+      return;
+    }
+    Transition(sim.now(), HostPowerState::kPowered);
+    auto waiters = std::move(wake_waiters_);
+    wake_waiters_.clear();
+    for (auto& w : waiters) {
+      w(sim.now());
+    }
+  });
+}
+
+void ClusterHost::RequestSleep(Simulator& sim, std::function<void(SimTime)> on_asleep) {
+  if (state_ != HostPowerState::kPowered) {
+    return;
+  }
+  assert(active_vms_ == 0 && "host with active VMs must never sleep");
+  Transition(sim.now(), HostPowerState::kSuspending);
+  uint64_t epoch = ++transition_epoch_;
+  sim.ScheduleAfter(power_.suspend_latency, [this, &sim, epoch,
+                                             on_asleep = std::move(on_asleep)]() {
+    if (transition_epoch_ != epoch || state_ != HostPowerState::kSuspending) {
+      return;
+    }
+    Transition(sim.now(), HostPowerState::kSleeping);
+    if (on_asleep && !wake_after_suspend_) {
+      on_asleep(sim.now());
+    }
+    if (wake_after_suspend_) {
+      wake_after_suspend_ = false;
+      // Re-enter the wake path for the queued waiters.
+      auto waiters = std::move(wake_waiters_);
+      wake_waiters_.clear();
+      for (auto& w : waiters) {
+        RequestWake(sim, std::move(w));
+      }
+    }
+  });
+}
+
+SimTime ClusterHost::EarliestPoweredTime(SimTime now) const {
+  switch (state_) {
+    case HostPowerState::kPowered:
+      return now;
+    case HostPowerState::kResuming:
+    case HostPowerState::kSleeping:
+      return now + power_.resume_latency;
+    case HostPowerState::kSuspending:
+      return now + power_.suspend_latency + power_.resume_latency;
+  }
+  return now;
+}
+
+SimTime ClusterHost::EnqueueOutboundMigration(SimTime now, SimTime duration) {
+  SimTime start = std::max(now, outbound_busy_until_);
+  outbound_busy_until_ = start + duration;
+  return outbound_busy_until_;
+}
+
+SimTime ClusterHost::EnqueueInboundTransfer(SimTime now, SimTime duration) {
+  SimTime start = std::max(now, inbound_busy_until_);
+  inbound_busy_until_ = start + duration;
+  return inbound_busy_until_;
+}
+
+void ClusterHost::SetMemoryServerPowered(SimTime now, bool on) {
+  if (ms_powered_ == on) {
+    return;
+  }
+  ms_powered_ = on;
+  ms_meter_.SetDraw(now, on ? ms_watts_ : 0.0);
+}
+
+Joules ClusterHost::HostEnergy(SimTime now) {
+  meter_.Advance(now);
+  return meter_.total_joules();
+}
+
+Joules ClusterHost::MemoryServerEnergy(SimTime now) {
+  ms_meter_.Advance(now);
+  return ms_meter_.total_joules();
+}
+
+}  // namespace oasis

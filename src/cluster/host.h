@@ -1,0 +1,114 @@
+// A cluster host: memory capacity, resident VMs, the ACPI power-state
+// machine with Table 1 transition latencies, the attached low-power memory
+// server, and exact energy accounting for all of it.
+
+#ifndef OASIS_SRC_CLUSTER_HOST_H_
+#define OASIS_SRC_CLUSTER_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "src/cluster/cluster_types.h"
+#include "src/power/energy_meter.h"
+#include "src/sim/simulator.h"
+
+namespace oasis {
+
+class ClusterHost {
+ public:
+  ClusterHost(HostId id, HostKind kind, const ClusterConfig& config, bool initially_powered);
+
+  HostId id() const { return id_; }
+  HostKind kind() const { return kind_; }
+  HostPowerState power_state() const { return state_; }
+  bool IsPowered() const { return state_ == HostPowerState::kPowered; }
+  bool IsAsleep() const { return state_ == HostPowerState::kSleeping; }
+
+  // --- Capacity ---------------------------------------------------------
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t reserved_bytes() const { return reserved_bytes_; }
+  uint64_t AvailableBytes() const { return capacity_bytes_ - reserved_bytes_; }
+  bool CanFit(uint64_t bytes) const { return bytes <= AvailableBytes(); }
+  void Reserve(uint64_t bytes);
+  void Release(uint64_t bytes);
+
+  // --- VM presence ------------------------------------------------------
+  // Adding/removing VMs changes the host's power draw (which saturates at
+  // the Table 1 twenty-VM measurement), so both take the current time.
+  void AddVm(SimTime now, VmId vm);
+  void RemoveVm(SimTime now, VmId vm);
+  const std::set<VmId>& vms() const { return vms_; }
+  bool HasVms() const { return !vms_.empty(); }
+
+  // Number of active VMs currently executing here. Purely logical (a host
+  // with active VMs must never sleep); the draw follows the resident count.
+  void SetActiveVms(SimTime now, int n);
+  int active_vms() const { return active_vms_; }
+
+  // --- Power-state machine ------------------------------------------------
+  // Wake-on-LAN: transitions toward kPowered and invokes `on_powered` once
+  // the host is up (immediately if already powered). Safe to call in any
+  // state; a wake during suspend queues behind the suspend.
+  void RequestWake(Simulator& sim, std::function<void(SimTime)> on_powered);
+
+  // Suspends to S3 once outstanding migrations drain (the caller gates on
+  // that); ignored unless currently powered. A wake request cancels a
+  // not-yet-finished suspend at its completion boundary. `on_asleep` fires
+  // when S3 entry completes (and is dropped if a wake pre-empts it).
+  void RequestSleep(Simulator& sim, std::function<void(SimTime)> on_asleep = nullptr);
+
+  // Earliest time the host could be executing VMs if woken at `now`.
+  SimTime EarliestPoweredTime(SimTime now) const;
+
+  // --- Outbound migration / inbound reintegration serialization ----------
+  // Occupies the host's outbound migration path for `duration` starting no
+  // earlier than `now`; returns the completion time.
+  SimTime EnqueueOutboundMigration(SimTime now, SimTime duration);
+  // Same for inbound reintegration transfers (the Fig 11 storm queue).
+  SimTime EnqueueInboundTransfer(SimTime now, SimTime duration);
+  SimTime outbound_busy_until() const { return outbound_busy_until_; }
+
+  // --- Memory server ------------------------------------------------------
+  void SetMemoryServerPowered(SimTime now, bool on);
+  bool memory_server_powered() const { return ms_powered_; }
+
+  // --- Energy -------------------------------------------------------------
+  // Host energy (excluding the memory server) up to `now`.
+  Joules HostEnergy(SimTime now);
+  // Memory-server energy up to `now`.
+  Joules MemoryServerEnergy(SimTime now);
+  const StateTimeLedger& ledger() const { return ledger_; }
+  void AdvanceLedger(SimTime now) { ledger_.Advance(now); }
+
+ private:
+  void Transition(SimTime now, HostPowerState next);
+  Watts CurrentDraw() const;
+
+  HostId id_;
+  HostKind kind_;
+  HostPowerProfile power_;
+  Watts ms_watts_;
+  uint64_t capacity_bytes_;
+  uint64_t reserved_bytes_ = 0;
+  std::set<VmId> vms_;
+  int active_vms_ = 0;
+
+  HostPowerState state_;
+  uint64_t transition_epoch_ = 0;  // invalidates stale scheduled transitions
+  bool wake_after_suspend_ = false;
+  std::vector<std::function<void(SimTime)>> wake_waiters_;
+
+  SimTime outbound_busy_until_;
+  SimTime inbound_busy_until_;
+
+  bool ms_powered_ = false;
+  EnergyMeter meter_;
+  EnergyMeter ms_meter_;
+  StateTimeLedger ledger_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CLUSTER_HOST_H_

@@ -1,0 +1,30 @@
+#include "src/cluster/idleness.h"
+
+namespace oasis {
+
+DirtyRateIdlenessDetector::DirtyRateIdlenessDetector(const IdlenessDetectorConfig& config,
+                                                     VmActivity initial)
+    : config_(config), activity_(initial) {}
+
+VmActivity DirtyRateIdlenessDetector::Observe(uint64_t dirty_bytes, SimTime interval_length) {
+  double minutes = interval_length.minutes();
+  double rate = minutes > 0.0 ? ToMiB(dirty_bytes) / minutes : 0.0;
+  if (rate < config_.idle_threshold_mib_per_min) {
+    ++below_streak_;
+    above_streak_ = 0;
+    if (activity_ == VmActivity::kActive && below_streak_ >= config_.idle_intervals) {
+      activity_ = VmActivity::kIdle;
+      ++transitions_;
+    }
+  } else {
+    ++above_streak_;
+    below_streak_ = 0;
+    if (activity_ == VmActivity::kIdle && above_streak_ >= config_.active_intervals) {
+      activity_ = VmActivity::kActive;
+      ++transitions_;
+    }
+  }
+  return activity_;
+}
+
+}  // namespace oasis

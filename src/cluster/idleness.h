@@ -1,0 +1,60 @@
+// Dirty-rate idleness detection (§3.1).
+//
+// "To determine a VM's idleness, we can monitor its resource usage. For
+//  example, one metric for memory usage is VM page dirtying rate which can
+//  be monitored from the hypervisor."
+//
+// The detector consumes per-interval dirty-byte samples and classifies the
+// VM with hysteresis: it flips to idle only after `idle_intervals`
+// consecutive samples below the threshold, and back to active after
+// `active_intervals` consecutive samples above it. This is the mechanism
+// behind ClusterConfig::idle_smoothing_intervals.
+
+#ifndef OASIS_SRC_CLUSTER_IDLENESS_H_
+#define OASIS_SRC_CLUSTER_IDLENESS_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/hyper/vm.h"
+
+namespace oasis {
+
+struct IdlenessDetectorConfig {
+  // Below this dirtying rate a VM looks idle. Idle desktops churn ~1.2
+  // MiB/min of background writes; active users dirty tens of MiB/min.
+  double idle_threshold_mib_per_min = 4.0;
+  // Consecutive below-threshold samples before declaring idle.
+  int idle_intervals = 2;
+  // Consecutive above-threshold samples before declaring active (1 = react
+  // immediately, as user-facing latency demands).
+  int active_intervals = 1;
+};
+
+class DirtyRateIdlenessDetector {
+ public:
+  // `initial` seeds the classification (a freshly created VM is active).
+  DirtyRateIdlenessDetector(const IdlenessDetectorConfig& config, VmActivity initial);
+  explicit DirtyRateIdlenessDetector(const IdlenessDetectorConfig& config)
+      : DirtyRateIdlenessDetector(config, VmActivity::kActive) {}
+  DirtyRateIdlenessDetector() : DirtyRateIdlenessDetector(IdlenessDetectorConfig{}) {}
+
+  // Feeds one planning interval's dirty volume; returns the (possibly
+  // updated) classification.
+  VmActivity Observe(uint64_t dirty_bytes, SimTime interval_length);
+
+  VmActivity activity() const { return activity_; }
+  // Classification changes since construction.
+  int transitions() const { return transitions_; }
+
+ private:
+  IdlenessDetectorConfig config_;
+  VmActivity activity_;
+  int below_streak_ = 0;
+  int above_streak_ = 0;
+  int transitions_ = 0;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CLUSTER_IDLENESS_H_

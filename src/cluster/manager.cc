@@ -1,0 +1,969 @@
+#include "src/cluster/manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "src/common/log.h"
+
+namespace oasis {
+namespace {
+
+// Working-set growth per planning interval in bytes.
+uint64_t GrowthPerInterval(const ClusterConfig& config) {
+  double hours = config.planning_interval.hours();
+  uint64_t bytes = MiBToBytes(config.volumes.ws_growth_mib_per_hour * hours);
+  return (bytes / kPageSize) * kPageSize;
+}
+
+}  // namespace
+
+ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace)
+    : config_(config),
+      trace_(std::move(trace)),
+      rng_(config.seed),
+      ws_sampler_(config.working_set, config.seed ^ 0x5EED5EEDull) {
+  assert(!trace_.empty() && "cluster needs at least one user-day");
+  Status valid = config_.Validate();
+  if (!valid.ok()) {
+    OASIS_LOG(kError) << "invalid cluster config: " << valid.ToString();
+  }
+  assert(valid.ok());
+  // Hosts: homes first, then consolidation hosts (asleep by default, §3.1).
+  for (int h = 0; h < config_.num_home_hosts; ++h) {
+    hosts_.push_back(std::make_unique<ClusterHost>(static_cast<HostId>(h), HostKind::kHome,
+                                                   config_, /*initially_powered=*/true));
+  }
+  for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
+    hosts_.push_back(std::make_unique<ClusterHost>(
+        static_cast<HostId>(config_.num_home_hosts + c), HostKind::kConsolidation, config_,
+        /*initially_powered=*/false));
+  }
+  // VMs: vms_per_home per home host; activity from trace interval 0.
+  int total_vms = config_.TotalVms();
+  vms_.reserve(static_cast<size_t>(total_vms));
+  vm_ever_uploaded_.assign(static_cast<size_t>(total_vms), false);
+  for (int v = 0; v < total_vms; ++v) {
+    VmSlot slot;
+    slot.id = static_cast<VmId>(v);
+    slot.home = static_cast<HostId>(v / config_.vms_per_home);
+    slot.location = slot.home;
+    slot.full_bytes = config_.vm_memory_bytes;
+    slot.activity = trace_[static_cast<size_t>(v) % trace_.size()].IsActive(0)
+                        ? VmActivity::kActive
+                        : VmActivity::kIdle;
+    slot.residency = VmResidency::kFullAtHome;
+    vms_.push_back(slot);
+    ClusterHost& home = HostOf(slot.home);
+    home.AddVm(SimTime::Zero(), slot.id);
+    home.Reserve(slot.full_bytes);
+    if (slot.activity == VmActivity::kActive) {
+      home.SetActiveVms(SimTime::Zero(), home.active_vms() + 1);
+    }
+  }
+}
+
+ClusterMetrics ClusterManager::Run() {
+  // Plans fire every planning_interval (§3.1's configurable knob); each tick
+  // reads the activity trace at its own 5-minute resolution.
+  SimTime end = SimTime::Hours(24.0);
+  int ticks = static_cast<int>(end / config_.planning_interval);
+  for (int t = 0; t < ticks; ++t) {
+    SimTime when = config_.planning_interval * t;
+    int interval = std::min(kIntervalsPerDay - 1,
+                            static_cast<int>(when.seconds()) / kTraceIntervalSeconds);
+    sim_.ScheduleAt(when, [this, interval]() { OnInterval(sim_.now(), interval); });
+  }
+  sim_.RunUntil(end);
+  AccrueEnergy(end);
+  metrics_.baseline_energy = BaselineEnergy(config_, trace_);
+  return metrics_;
+}
+
+Joules ClusterManager::BaselineEnergy(const ClusterConfig& config, const TraceSet& trace) {
+  // Every home host stays powered all day running its own VMs (§5.3's
+  // normalization). The draw saturates with the resident VM count, so the
+  // baseline is flat regardless of user activity.
+  (void)trace;
+  Watts per_host = config.host_power.Draw(HostPowerState::kPowered, config.vms_per_home);
+  return EnergyOver(per_host * config.num_home_hosts, SimTime::Hours(24.0));
+}
+
+void ClusterManager::OnInterval(SimTime now, int interval) {
+  UpdateActivities(now, interval);
+  PartialVmUpkeep(now);
+  Plan(now);
+  RecordSnapshot(now, interval);
+}
+
+void ClusterManager::UpdateActivities(SimTime now, int interval) {
+  for (VmSlot& vm : vms_) {
+    bool should_be_active =
+        trace_[vm.id % trace_.size()].IsActive(interval);
+    bool is_active = vm.activity == VmActivity::kActive;
+    if (should_be_active == is_active) {
+      continue;
+    }
+    if (should_be_active) {
+      vm.activity = VmActivity::kActive;
+      vm.activation_time = now;
+      AdjustActiveCount(now, vm.location, +1);
+      HandleActivation(now, vm.id, now);
+    } else {
+      vm.activity = VmActivity::kIdle;
+      vm.idle_since = now;
+      AdjustActiveCount(now, vm.location, -1);
+    }
+  }
+}
+
+void ClusterManager::HandleActivation(SimTime now, VmId vm_id, SimTime activation_time) {
+  VmSlot& vm = Slot(vm_id);
+  if (vm.migration_in_flight && TryAbortPendingMigration(now, vm)) {
+    // The queued move was cancelled; fall through with the VM's restored
+    // state (full at home for vacate/swap aborts, still partial for drains).
+  } else if (vm.migration_in_flight) {
+    if (vm.pending_op == VmSlot::PendingOp::kReturnMove) {
+      // The VM is already being reintegrated as part of a group return; the
+      // agent promotes it to the front of the queue, so the user waits only
+      // one reintegration (§5.5), not the whole storm.
+      const ClusterTimings& t = config_.timings;
+      metrics_.transition_delay_s.Add(
+          (now - activation_time + t.reintegration_fixed + t.reintegration_transfer)
+              .seconds());
+      return;
+    }
+    vm.activation_pending = true;
+    return;
+  }
+  switch (vm.residency) {
+    case VmResidency::kFullAtHome:
+    case VmResidency::kFullAtConsolidation:
+      // The VM already holds all its resources: zero perceived delay.
+      metrics_.transition_delay_s.Add((now - activation_time).seconds());
+      return;
+    case VmResidency::kPartial:
+      break;
+  }
+  if (config_.policy != ConsolidationPolicy::kOnlyPartial &&
+      TryConvertInPlace(now, vm, activation_time)) {
+    return;
+  }
+  if (config_.policy == ConsolidationPolicy::kNewHome &&
+      TryNewHome(now, vm, activation_time)) {
+    return;
+  }
+  ++metrics_.capacity_exhaustions;
+  ReturnHomeGroup(now, vm.home, vm.id, activation_time);
+}
+
+bool ClusterManager::TryConvertInPlace(SimTime now, VmSlot& vm, SimTime activation_time) {
+  ClusterHost& host = HostOf(vm.location);
+  uint64_t extra = vm.full_bytes - vm.ws_bytes;
+  if (!host.CanFit(extra)) {
+    return false;
+  }
+  // CPU bound (§3 assumption 1): the activation was already counted here.
+  if (host.active_vms() > config_.MaxActiveVmsPerHost()) {
+    return false;
+  }
+  host.Reserve(extra);
+  // Pre-fetch the remaining footprint from the memory server (§4.4.4: a
+  // partial VM that turns active converts to a full VM).
+  uint64_t fetched = vm.ws_bytes - vm.ws_unfetched;
+  metrics_.traffic.Add(TrafficCategory::kOnDemandPages, vm.full_bytes - fetched);
+  vm.residency = VmResidency::kFullAtConsolidation;
+  vm.ws_bytes = 0;
+  vm.ws_unfetched = 0;
+  vm.dirty_bytes = 0;
+  // The VM's working set is already resident, so it responds as soon as its
+  // vCPUs are rescheduled with full memory commitment; the bulk of the
+  // footprint streams in from the memory server in the background.
+  const ClusterTimings& t = config_.timings;
+  SimTime done = now + t.reintegration_fixed + t.reintegration_transfer;
+  ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, vm.location);
+  metrics_.transition_delay_s.Add((done - activation_time).seconds());
+  RefreshMemoryServer(now, vm.home);
+  return true;
+}
+
+bool ClusterManager::TryNewHome(SimTime now, VmSlot& vm, SimTime activation_time) {
+  // Any powered consolidation host with room for the full footprint.
+  std::vector<HostId> candidates;
+  for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
+    HostId id = static_cast<HostId>(config_.num_home_hosts + c);
+    ClusterHost& host = HostOf(id);
+    if (id != vm.location && host.IsPowered() && host.CanFit(vm.full_bytes) &&
+        host.active_vms() < config_.MaxActiveVmsPerHost()) {
+      candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) {
+    return false;
+  }
+  HostId target_id = candidates[rng_.NextBelow(candidates.size())];
+  ClusterHost& target = HostOf(target_id);
+  ClusterHost& source = HostOf(vm.location);
+
+  target.Reserve(vm.full_bytes);
+  source.Release(vm.ws_bytes);
+  source.RemoveVm(now, vm.id);
+  target.AddVm(now, vm.id);
+  AdjustActiveCount(now, vm.location, -1);
+  AdjustActiveCount(now, target_id, +1);
+  HostId old_location = vm.location;
+  vm.location = target_id;
+  vm.residency = VmResidency::kFullAtConsolidation;
+  vm.ws_bytes = 0;
+  vm.ws_unfetched = 0;
+  vm.dirty_bytes = 0;
+
+  metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
+  ++metrics_.full_migrations;
+  ++metrics_.new_home_moves;
+
+  const ClusterTimings& t = config_.timings;
+  SimTime done = now + t.reintegration_fixed + t.reintegration_transfer;
+  ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, old_location);
+  metrics_.transition_delay_s.Add((done - activation_time).seconds());
+  RefreshMemoryServer(now, vm.home);
+
+  if (IsConsolidationHost(old_location) && !HostOf(old_location).HasVms()) {
+    SleepIdleConsolidationHosts(now);
+  }
+  return true;
+}
+
+void ClusterManager::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
+                                     SimTime activation_time) {
+  ClusterHost& home = HostOf(home_id);
+  WakeHost(now, home_id);
+  SimTime t0 = home.EarliestPoweredTime(now);
+
+  // The requester reintegrates first; its delay is what the user feels.
+  std::vector<VmId> partials;
+  std::vector<VmId> idle_fulls;
+  for (const VmSlot& vm : vms_) {
+    if (vm.home != home_id || vm.migration_in_flight) {
+      continue;
+    }
+    if (vm.residency == VmResidency::kPartial) {
+      if (vm.id == requester) {
+        partials.insert(partials.begin(), vm.id);
+      } else {
+        partials.push_back(vm.id);
+      }
+    } else if (vm.residency == VmResidency::kFullAtConsolidation &&
+               vm.activity == VmActivity::kIdle) {
+      // §3.2: "Migrating back all full VMs that were originally homed on the
+      // awake host creates additional space on the consolidation hosts."
+      idle_fulls.push_back(vm.id);
+    }
+  }
+  const ClusterTimings& t = config_.timings;
+  for (VmId id : partials) {
+    VmSlot& vm = Slot(id);
+    ClusterHost& source = HostOf(vm.location);
+    source.Release(vm.ws_bytes);
+    source.RemoveVm(now, id);
+    home.AddVm(now, id);
+    if (vm.activity == VmActivity::kActive) {
+      AdjustActiveCount(now, vm.location, -1);
+      AdjustActiveCount(now, home_id, +1);
+    }
+    metrics_.traffic.Add(TrafficCategory::kReintegration, vm.dirty_bytes);
+    ++metrics_.reintegrations;
+    SimTime done =
+        home.EnqueueInboundTransfer(t0, t.reintegration_transfer) + t.reintegration_fixed;
+    vm.location = home_id;
+    vm.residency = VmResidency::kFullAtHome;
+    vm.ws_bytes = 0;
+    vm.ws_unfetched = 0;
+    vm.dirty_bytes = 0;
+    ScheduleMigration(vm, t0, done,
+                      id == requester ? VmSlot::PendingOp::kOther
+                                      : VmSlot::PendingOp::kReturnMove,
+                      home_id);
+    if (id == requester) {
+      metrics_.transition_delay_s.Add((done - activation_time).seconds());
+    }
+  }
+  for (VmId id : idle_fulls) {
+    VmSlot& vm = Slot(id);
+    HostId source_id = vm.location;
+    ClusterHost& source = HostOf(source_id);
+    source.Release(vm.full_bytes);
+    source.RemoveVm(now, id);
+    home.AddVm(now, id);
+    metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
+    ++metrics_.full_migrations;
+    SimTime done = source.EnqueueOutboundMigration(t0, t.full_migration);
+    vm.location = home_id;
+    vm.residency = VmResidency::kFullAtHome;
+    ScheduleMigration(vm, done - t.full_migration, done, VmSlot::PendingOp::kFullReturnMove,
+                      source_id);
+  }
+  RefreshMemoryServer(now, home_id);
+}
+
+void ClusterManager::PartialVmUpkeep(SimTime now) {
+  const TrafficVolumes& vol = config_.volumes;
+  uint64_t growth = GrowthPerInterval(config_);
+  double interval_minutes = config_.planning_interval.minutes();
+  std::set<HostId> exhausted_homes;
+  for (VmSlot& vm : vms_) {
+    if (vm.residency != VmResidency::kPartial || vm.migration_in_flight) {
+      continue;
+    }
+    // On-demand fetch: geometric drain of the unfetched working set.
+    uint64_t fetch = static_cast<uint64_t>(static_cast<double>(vm.ws_unfetched) *
+                                           vol.on_demand_fraction_per_interval);
+    fetch = std::min(fetch, vol.on_demand_cap_per_interval);
+    if (fetch > 0) {
+      metrics_.traffic.Add(TrafficCategory::kOnDemandPages, fetch);
+      vm.ws_unfetched -= fetch;
+    }
+    // Dirty-state accumulation (drives reintegration volume).
+    uint64_t dirty_step = MiBToBytes(vol.dirty_mib_per_minute * interval_minutes);
+    vm.dirty_bytes = std::min(vm.dirty_bytes + dirty_step, vol.dirty_cap_bytes);
+    // Working-set growth; an overfull consolidation host forces a return.
+    if (growth > 0) {
+      ClusterHost& host = HostOf(vm.location);
+      if (host.CanFit(growth)) {
+        host.Reserve(growth);
+        vm.ws_bytes += growth;
+      } else {
+        exhausted_homes.insert(vm.home);
+      }
+    }
+  }
+  for (HostId home : exhausted_homes) {
+    ++metrics_.capacity_exhaustions;
+    ReturnHomeGroup(now, home, kNoVm, now);
+  }
+}
+
+void ClusterManager::Plan(SimTime now) {
+  if (config_.policy == ConsolidationPolicy::kFullToPartial ||
+      config_.policy == ConsolidationPolicy::kNewHome) {
+    PlanFullToPartialSwaps(now);
+  }
+  PlanVacations(now);
+  DrainConsolidationHosts(now);
+  SleepIdleConsolidationHosts(now);
+  // Sweep home hosts that drained since the last interval.
+  for (int h = 0; h < config_.num_home_hosts; ++h) {
+    MaybeSleepHomeHost(now, static_cast<HostId>(h));
+  }
+}
+
+void ClusterManager::PlanFullToPartialSwaps(SimTime now) {
+  // Idle full VMs parked on consolidation hosts go home and come back as
+  // partials, freeing most of their reservation (§3.2 FulltoPartial).
+  std::map<HostId, std::vector<VmId>> by_home;
+  for (const VmSlot& vm : vms_) {
+    if (vm.residency == VmResidency::kFullAtConsolidation && TrustedIdle(vm, now) &&
+        !vm.migration_in_flight) {
+      by_home[vm.home].push_back(vm.id);
+    }
+  }
+  const ClusterTimings& t = config_.timings;
+  for (auto& [home_id, group] : by_home) {
+    ClusterHost& home = HostOf(home_id);
+    WakeHost(now, home_id);
+    SimTime t0 = home.EarliestPoweredTime(now);
+    for (VmId id : group) {
+      VmSlot& vm = Slot(id);
+      ClusterHost& cons = HostOf(vm.location);
+      HostId cons_id = vm.location;
+      // Leg 1: live-migrate the full VM back home.
+      SimTime done1 = cons.EnqueueOutboundMigration(t0, t.full_migration);
+      cons.Release(vm.full_bytes);
+      cons.RemoveVm(now, id);
+      home.AddVm(now, id);
+      vm.location = home_id;
+      vm.residency = VmResidency::kFullAtHome;
+      metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
+      ++metrics_.full_migrations;
+      // Leg 2: partial-migrate back to the same consolidation host.
+      uint64_t ws = SampleWorkingSet();
+      if (cons.CanFit(ws)) {
+        cons.Reserve(ws);
+        home.RemoveVm(now, id);
+        cons.AddVm(now, id);
+        vm.location = cons_id;
+        vm.residency = VmResidency::kPartial;
+        vm.ws_bytes = ws;
+        vm.ws_unfetched = ws;
+        vm.dirty_bytes = 0;
+        vm.consolidated_since = now;
+        RecordPartialMigrationTraffic(vm);
+        ++metrics_.full_to_partial_swaps;
+        SimTime done2 = home.EnqueueOutboundMigration(done1, t.partial_migration);
+        ScheduleMigration(vm, done2 - t.partial_migration, done2,
+                          VmSlot::PendingOp::kSwapReturn, home_id);
+      } else {
+        // No room for even the partial: the VM stays home.
+        ScheduleMigration(vm, t0, done1, VmSlot::PendingOp::kOther, cons_id);
+      }
+    }
+    SimTime all_done = home.outbound_busy_until();
+    HostId hid = home_id;
+    sim_.ScheduleAt(std::max(now, all_done),
+                    [this, hid]() { MaybeSleepHomeHost(sim_.now(), hid); });
+  }
+}
+
+bool ClusterManager::TrustedIdle(const VmSlot& vm, SimTime now) const {
+  if (vm.activity != VmActivity::kIdle) {
+    return false;
+  }
+  SimTime window = config_.planning_interval * config_.idle_smoothing_intervals;
+  return now - vm.idle_since >= window;
+}
+
+bool ClusterManager::HostEligibleForVacate(const ClusterHost& host, SimTime now) const {
+  if (host.kind() != HostKind::kHome || !host.IsPowered() || !host.HasVms()) {
+    return false;
+  }
+  for (VmId id : host.vms()) {
+    const VmSlot& vm = vms_[id];
+    if (vm.migration_in_flight || vm.location != host.id()) {
+      return false;
+    }
+    // OnlyPartial never migrates VMs in full, so every VM must be (trusted)
+    // idle before the host can be emptied.
+    if (config_.policy == ConsolidationPolicy::kOnlyPartial && !TrustedIdle(vm, now)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ClusterManager::VacatePlan ClusterManager::BuildVacatePlan(
+    SimTime now, bool allow_waking_consolidation_hosts,
+    const std::unordered_map<VmId, uint64_t>& planned_ws) {
+  VacatePlan plan;
+  // Candidate home hosts sorted by ascending total memory demand (§3.1).
+  struct Candidate {
+    HostId host;
+    uint64_t demand;
+  };
+  std::vector<Candidate> candidates;
+  for (int h = 0; h < config_.num_home_hosts; ++h) {
+    const ClusterHost& host = HostOf(static_cast<HostId>(h));
+    if (!HostEligibleForVacate(host, now)) {
+      continue;
+    }
+    uint64_t demand = 0;
+    for (VmId id : host.vms()) {
+      const VmSlot& vm = vms_[id];
+      demand += TrustedIdle(vm, now) ? planned_ws.at(id) : vm.full_bytes;
+    }
+    candidates.push_back({static_cast<HostId>(h), demand});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.demand < b.demand; });
+
+  // Snapshot consolidation-host free space. Powered hosts come first so the
+  // random destination choice only spills onto sleeping hosts (waking them)
+  // when the powered ones are full.
+  struct Dest {
+    HostId host;
+    uint64_t available;
+    int active_slots;  // CPU headroom for incoming active VMs
+    bool sleeping;
+    bool used = false;
+  };
+  std::vector<Dest> dests;
+  size_t powered_dests = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
+      HostId id = static_cast<HostId>(config_.num_home_hosts + c);
+      const ClusterHost& host = HostOf(id);
+      int slots = config_.MaxActiveVmsPerHost() - host.active_vms();
+      bool awake = host.IsPowered() || host.power_state() == HostPowerState::kResuming;
+      if (pass == 0 && awake) {
+        dests.push_back({id, host.AvailableBytes(), slots, false});
+        ++powered_dests;
+      } else if (pass == 1 && !awake && allow_waking_consolidation_hosts) {
+        dests.push_back({id, host.AvailableBytes(), slots, true});
+      }
+    }
+  }
+
+  for (const Candidate& cand : candidates) {
+    const ClusterHost& host = HostOf(cand.host);
+    std::vector<std::pair<VmId, HostId>> placement;
+    struct Tentative {
+      size_t idx;
+      uint64_t bytes;
+      bool active;
+    };
+    std::vector<Tentative> tentative;
+    bool ok = true;
+    for (VmId id : host.vms()) {
+      const VmSlot& vm = vms_[id];
+      bool consumes_cpu = vm.activity == VmActivity::kActive;
+      uint64_t need = TrustedIdle(vm, now) ? planned_ws.at(id) : vm.full_bytes;
+      // Destination choice (§3.1): random among powered consolidation hosts
+      // with room; spill onto sleeping hosts first-fit in a fixed order so
+      // the plan wakes as few of them as possible. Active VMs additionally
+      // need a CPU slot (assumption 1's 3x over-subscription cap).
+      bool placed = false;
+      auto try_segment = [&](size_t first, size_t count, bool randomize) {
+        if (count == 0 || placed) {
+          return;
+        }
+        size_t start = randomize ? first + rng_.NextBelow(count) : first;
+        for (size_t k = 0; k < count; ++k) {
+          size_t idx = first + (start - first + k) % count;
+          Dest& d = dests[idx];
+          if (d.available >= need && (!consumes_cpu || d.active_slots > 0)) {
+            d.available -= need;
+            if (consumes_cpu) {
+              --d.active_slots;
+            }
+            tentative.push_back({idx, need, consumes_cpu});
+            placement.emplace_back(id, d.host);
+            placed = true;
+            return;
+          }
+        }
+      };
+      try_segment(0, powered_dests, /*randomize=*/true);
+      try_segment(powered_dests, dests.size() - powered_dests, /*randomize=*/false);
+      if (!placed) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      for (const Tentative& t : tentative) {
+        dests[t.idx].available += t.bytes;
+        if (t.active) {
+          ++dests[t.idx].active_slots;
+        }
+      }
+      continue;
+    }
+    for (const Tentative& t : tentative) {
+      dests[t.idx].used = true;
+    }
+    plan.hosts_to_vacate.push_back(cand.host);
+    plan.placements.push_back(std::move(placement));
+  }
+
+  // Net power effect (§3.1: consolidate only when it saves energy): a
+  // vacated home stops drawing its loaded-host power and costs S3 plus the
+  // memory server; every sleeping consolidation host we wake will run loaded.
+  const HostPowerProfile& p = config_.host_power;
+  Watts loaded = p.Draw(HostPowerState::kPowered, config_.vms_per_home);
+  double saved_per_home =
+      loaded - p.sleep_watts - config_.memory_server_power.TotalWatts();
+  int woken = 0;
+  for (const Dest& d : dests) {
+    if (d.sleeping && d.used) {
+      ++woken;
+    }
+  }
+  plan.newly_woken_consolidation_hosts = woken;
+  plan.net_power_delta_watts =
+      static_cast<double>(plan.hosts_to_vacate.size()) * saved_per_home -
+      static_cast<double>(woken) * (loaded - p.sleep_watts);
+  return plan;
+}
+
+void ClusterManager::PlanVacations(SimTime now) {
+  // Pre-sample the working set each idle VM would consolidate with, shared
+  // by both plan variants so they compare like for like.
+  std::unordered_map<VmId, uint64_t> planned_ws;
+  for (int h = 0; h < config_.num_home_hosts; ++h) {
+    const ClusterHost& host = HostOf(static_cast<HostId>(h));
+    if (!HostEligibleForVacate(host, now)) {
+      continue;
+    }
+    for (VmId id : host.vms()) {
+      if (TrustedIdle(vms_[id], now)) {
+        planned_ws[id] = SampleWorkingSet();
+      }
+    }
+  }
+  if (planned_ws.empty() && config_.policy == ConsolidationPolicy::kOnlyPartial) {
+    return;
+  }
+  VacatePlan conservative = BuildVacatePlan(now, /*allow_waking=*/false, planned_ws);
+  VacatePlan aggressive = BuildVacatePlan(now, /*allow_waking=*/true, planned_ws);
+  VacatePlan* best = &conservative;
+  if (aggressive.net_power_delta_watts > conservative.net_power_delta_watts) {
+    best = &aggressive;
+  }
+  // §3.1: consolidate only when it saves energy.
+  if (best->net_power_delta_watts <= 0.0 || best->hosts_to_vacate.empty()) {
+    return;
+  }
+  CommitVacatePlan(now, *best, planned_ws);
+}
+
+void ClusterManager::CommitVacatePlan(SimTime now, const VacatePlan& plan,
+                                      const std::unordered_map<VmId, uint64_t>& planned_ws) {
+  const ClusterTimings& t = config_.timings;
+  for (size_t i = 0; i < plan.hosts_to_vacate.size(); ++i) {
+    HostId source_id = plan.hosts_to_vacate[i];
+    ClusterHost& source = HostOf(source_id);
+    for (const auto& [vm_id, dest_id] : plan.placements[i]) {
+      VmSlot& vm = Slot(vm_id);
+      ClusterHost& dest = HostOf(dest_id);
+      WakeHost(now, dest_id);
+      SimTime done;
+      if (!TrustedIdle(vm, now)) {
+        // Active (or not-yet-trusted idle) VMs move in full via live
+        // migration, so they keep their resources and performance.
+        done = source.EnqueueOutboundMigration(dest.EarliestPoweredTime(now),
+                                               t.full_migration);
+        dest.Reserve(vm.full_bytes);
+        vm.residency = VmResidency::kFullAtConsolidation;
+        if (vm.activity == VmActivity::kActive) {
+          AdjustActiveCount(now, source_id, -1);
+          AdjustActiveCount(now, dest_id, +1);
+        }
+        metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
+        ++metrics_.full_migrations;
+      } else {
+        done = source.EnqueueOutboundMigration(dest.EarliestPoweredTime(now),
+                                               t.partial_migration);
+        uint64_t ws = planned_ws.at(vm_id);
+        dest.Reserve(ws);
+        vm.residency = VmResidency::kPartial;
+        vm.ws_bytes = ws;
+        vm.ws_unfetched = ws;
+        vm.dirty_bytes = 0;
+        vm.consolidated_since = now;
+        RecordPartialMigrationTraffic(vm);
+      }
+      source.RemoveVm(now, vm_id);
+      dest.AddVm(now, vm_id);
+      vm.location = dest_id;
+      bool partial = vm.residency == VmResidency::kPartial;
+      ScheduleMigration(vm, partial ? done - t.partial_migration : now, done,
+                        partial ? VmSlot::PendingOp::kVacatePartial
+                                : VmSlot::PendingOp::kOther,
+                        source_id);
+    }
+    SimTime all_done = std::max(now, source.outbound_busy_until());
+    HostId hid = source_id;
+    sim_.ScheduleAt(all_done, [this, hid]() { MaybeSleepHomeHost(sim_.now(), hid); });
+  }
+}
+
+void ClusterManager::DrainConsolidationHosts(SimTime now) {
+  // §3.1's plan search minimizes the number of powered hosts, which includes
+  // consolidation hosts: one whose guests are all partial VMs can push them
+  // to its powered peers and sleep. Only descriptors and resident pages
+  // move — the VMs' memory images stay on their homes' memory servers.
+  //
+  // Draining is incremental: each interval moves at most as many VMs as fit
+  // into the interval (the moves serialize on the source's outbound path),
+  // so a heavily loaded host empties over several intervals.
+  const ClusterTimings& t = config_.timings;
+  size_t max_moves = static_cast<size_t>(config_.planning_interval.seconds() /
+                                         t.partial_migration.seconds());
+
+  // The drain source: the least-occupied powered consolidation host whose
+  // guests are all partial, provided its peers have room for all of it.
+  HostId source_id = kNoHost;
+  uint64_t best_reserved = 0;
+  for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
+    HostId id = static_cast<HostId>(config_.num_home_hosts + c);
+    ClusterHost& host = HostOf(id);
+    if (!host.IsPowered() || !host.HasVms() || host.outbound_busy_until() > now) {
+      continue;
+    }
+    bool all_partial = true;
+    for (VmId vm_id : host.vms()) {
+      const VmSlot& vm = vms_[vm_id];
+      if (vm.residency != VmResidency::kPartial || vm.migration_in_flight) {
+        all_partial = false;
+        break;
+      }
+    }
+    if (!all_partial) {
+      continue;
+    }
+    if (source_id == kNoHost || host.reserved_bytes() < best_reserved) {
+      source_id = id;
+      best_reserved = host.reserved_bytes();
+    }
+  }
+  if (source_id == kNoHost) {
+    return;
+  }
+  ClusterHost& source = HostOf(source_id);
+  uint64_t peer_spare = 0;
+  for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
+    HostId id = static_cast<HostId>(config_.num_home_hosts + c);
+    const ClusterHost& host = HostOf(id);
+    if (id != source_id && host.IsPowered()) {
+      peer_spare += host.AvailableBytes();
+    }
+  }
+  // Don't start (or continue) a drain that cannot complete; partially
+  // drained hosts still burn full power.
+  if (peer_spare < source.reserved_bytes() + source.reserved_bytes() / 8) {
+    return;
+  }
+
+  std::vector<VmId> movable(source.vms().begin(), source.vms().end());
+  size_t moved = 0;
+  for (VmId vm_id : movable) {
+    if (moved >= max_moves) {
+      break;
+    }
+    VmSlot& vm = Slot(vm_id);
+    HostId dest_id = kNoHost;
+    for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
+      HostId id = static_cast<HostId>(config_.num_home_hosts + c);
+      ClusterHost& host = HostOf(id);
+      if (id != source_id && host.IsPowered() && host.CanFit(vm.ws_bytes)) {
+        dest_id = id;
+        break;
+      }
+    }
+    if (dest_id == kNoHost) {
+      break;
+    }
+    ClusterHost& dest = HostOf(dest_id);
+    source.Release(vm.ws_bytes);
+    dest.Reserve(vm.ws_bytes);
+    source.RemoveVm(now, vm_id);
+    dest.AddVm(now, vm_id);
+    vm.location = dest_id;
+    metrics_.traffic.Add(TrafficCategory::kPartialDescriptor,
+                         config_.volumes.descriptor_bytes);
+    ++metrics_.partial_migrations;
+    SimTime done = source.EnqueueOutboundMigration(now, t.partial_migration);
+    ScheduleMigration(vm, done - t.partial_migration, done, VmSlot::PendingOp::kDrainMove,
+                      source_id);
+    ++moved;
+  }
+  // The emptied host sleeps at the next sweep once its channel drains.
+}
+
+void ClusterManager::SleepIdleConsolidationHosts(SimTime now) {
+  for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
+    HostId id = static_cast<HostId>(config_.num_home_hosts + c);
+    ClusterHost& host = HostOf(id);
+    if (host.IsPowered() && !host.HasVms() && host.active_vms() == 0 &&
+        host.outbound_busy_until() <= now) {
+      host.RequestSleep(sim_);
+      ++metrics_.host_sleeps;
+    }
+  }
+}
+
+void ClusterManager::MaybeSleepHomeHost(SimTime now, HostId host_id) {
+  ClusterHost& host = HostOf(host_id);
+  if (host.kind() != HostKind::kHome || !host.IsPowered() || host.HasVms() ||
+      host.active_vms() != 0 || host.outbound_busy_until() > now) {
+    return;
+  }
+  HostId id = host_id;
+  host.RequestSleep(sim_, [this, id](SimTime at) { RefreshMemoryServer(at, id); });
+  ++metrics_.host_sleeps;
+}
+
+void ClusterManager::RecordSnapshot(SimTime now, int interval) {
+  (void)interval;
+  IntervalSnapshot snap;
+  snap.time = now;
+  for (const VmSlot& vm : vms_) {
+    if (vm.activity == VmActivity::kActive) {
+      ++snap.active_vms;
+    }
+    if (vm.residency == VmResidency::kPartial) {
+      ++snap.partial_vms;
+    }
+    if (vm.residency == VmResidency::kFullAtConsolidation) {
+      ++snap.full_at_consolidation_vms;
+    }
+  }
+  for (const auto& host : hosts_) {
+    if (!host->IsPowered()) {
+      continue;
+    }
+    ++snap.powered_hosts;
+    if (host->kind() == HostKind::kHome) {
+      ++snap.powered_home_hosts;
+    } else {
+      ++snap.powered_consolidation_hosts;
+      metrics_.consolidation_ratio.Add(static_cast<double>(host->vms().size()));
+    }
+  }
+  metrics_.timeline.push_back(snap);
+}
+
+void ClusterManager::AdjustActiveCount(SimTime now, HostId host, int delta) {
+  ClusterHost& h = HostOf(host);
+  h.SetActiveVms(now, h.active_vms() + delta);
+}
+
+void ClusterManager::WakeHost(SimTime now, HostId id) {
+  ClusterHost& host = HostOf(id);
+  if (!host.IsPowered()) {
+    ++metrics_.host_wakes;
+  }
+  HostId hid = id;
+  host.RequestWake(sim_, [this, hid](SimTime at) { RefreshMemoryServer(at, hid); });
+  (void)now;
+}
+
+void ClusterManager::RefreshMemoryServer(SimTime now, HostId home_id) {
+  if (IsConsolidationHost(home_id)) {
+    return;  // consolidation hosts' memory servers are never powered (§5.1)
+  }
+  ClusterHost& host = HostOf(home_id);
+  bool needed = host.IsAsleep() && CountPartialsHomedAt(home_id) > 0;
+  host.SetMemoryServerPowered(now, needed);
+}
+
+int ClusterManager::CountPartialsHomedAt(HostId home_id) const {
+  int n = 0;
+  for (const VmSlot& vm : vms_) {
+    if (vm.home == home_id && vm.residency == VmResidency::kPartial) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void ClusterManager::ScheduleMigration(VmSlot& vm, SimTime start, SimTime done,
+                                       VmSlot::PendingOp op, HostId source) {
+  vm.migration_in_flight = true;
+  vm.migration_start = start;
+  vm.pending_op = op;
+  vm.migration_source = source;
+  uint32_t epoch = ++vm.op_epoch;
+  VmId id = vm.id;
+  sim_.ScheduleAt(done, [this, id, epoch]() { FinishMigration(sim_.now(), id, epoch); });
+}
+
+bool ClusterManager::TryAbortPendingMigration(SimTime now, VmSlot& vm) {
+  if (now >= vm.migration_start) {
+    return false;  // the transfer already started; ride it out
+  }
+  switch (vm.pending_op) {
+    case VmSlot::PendingOp::kVacatePartial:
+    case VmSlot::PendingOp::kSwapReturn: {
+      // The VM has not been suspended yet; it keeps running at home with its
+      // full footprint. Undo the partial placement.
+      ClusterHost& dest = HostOf(vm.location);
+      ClusterHost& home = HostOf(vm.home);
+      dest.Release(vm.ws_bytes);
+      dest.RemoveVm(now, vm.id);
+      home.AddVm(now, vm.id);
+      if (vm.activity == VmActivity::kActive) {
+        AdjustActiveCount(now, vm.location, -1);
+        AdjustActiveCount(now, vm.home, +1);
+      }
+      vm.location = vm.home;
+      vm.residency = VmResidency::kFullAtHome;
+      vm.ws_bytes = 0;
+      vm.ws_unfetched = 0;
+      vm.dirty_bytes = 0;
+      break;
+    }
+    case VmSlot::PendingOp::kDrainMove: {
+      // The VM stays on the consolidation host it was being drained from.
+      ClusterHost& dest = HostOf(vm.location);
+      ClusterHost& source = HostOf(vm.migration_source);
+      dest.Release(vm.ws_bytes);
+      dest.RemoveVm(now, vm.id);
+      source.Reserve(vm.ws_bytes);
+      source.AddVm(now, vm.id);
+      if (vm.activity == VmActivity::kActive) {
+        AdjustActiveCount(now, vm.location, -1);
+        AdjustActiveCount(now, vm.migration_source, +1);
+      }
+      vm.location = vm.migration_source;
+      break;
+    }
+    case VmSlot::PendingOp::kFullReturnMove: {
+      // The return-home live migration has not started: the VM simply stays
+      // full on its consolidation host, already holding all its resources.
+      ClusterHost& cons = HostOf(vm.migration_source);
+      ClusterHost& home = HostOf(vm.location);
+      if (!cons.CanFit(vm.full_bytes)) {
+        return false;  // space was re-used meanwhile; ride the migration out
+      }
+      cons.Reserve(vm.full_bytes);
+      home.RemoveVm(now, vm.id);
+      cons.AddVm(now, vm.id);
+      if (vm.activity == VmActivity::kActive) {
+        AdjustActiveCount(now, vm.location, -1);
+        AdjustActiveCount(now, vm.migration_source, +1);
+      }
+      vm.location = vm.migration_source;
+      vm.residency = VmResidency::kFullAtConsolidation;
+      break;
+    }
+    case VmSlot::PendingOp::kReturnMove:
+    case VmSlot::PendingOp::kOther:
+    case VmSlot::PendingOp::kNone:
+      return false;
+  }
+  ++vm.op_epoch;  // invalidate the scheduled completion event
+  vm.migration_in_flight = false;
+  vm.pending_op = VmSlot::PendingOp::kNone;
+  vm.activation_pending = false;
+  return true;
+}
+
+void ClusterManager::FinishMigration(SimTime now, VmId vm_id, uint32_t epoch) {
+  VmSlot& vm = Slot(vm_id);
+  if (vm.op_epoch != epoch) {
+    return;  // aborted (or superseded) in the meantime
+  }
+  vm.migration_in_flight = false;
+  vm.pending_op = VmSlot::PendingOp::kNone;
+  if (vm.activation_pending) {
+    vm.activation_pending = false;
+    if (vm.residency == VmResidency::kPartial) {
+      HandleActivation(now, vm_id, vm.activation_time);
+    } else {
+      metrics_.transition_delay_s.Add((now - vm.activation_time).seconds());
+    }
+  }
+}
+
+void ClusterManager::AccrueEnergy(SimTime now) {
+  metrics_.home_host_energy = 0.0;
+  metrics_.consolidation_host_energy = 0.0;
+  metrics_.memory_server_energy = 0.0;
+  for (const auto& host : hosts_) {
+    host->AdvanceLedger(now);
+    Joules e = host->HostEnergy(now);
+    if (host->kind() == HostKind::kHome) {
+      metrics_.home_host_energy += e;
+    } else {
+      metrics_.consolidation_host_energy += e;
+    }
+    metrics_.memory_server_energy += host->MemoryServerEnergy(now);
+  }
+}
+
+uint64_t ClusterManager::SampleWorkingSet() {
+  return ws_sampler_.Sample(config_.vm_memory_bytes);
+}
+
+void ClusterManager::RecordPartialMigrationTraffic(VmSlot& vm) {
+  metrics_.traffic.Add(TrafficCategory::kPartialDescriptor, config_.volumes.descriptor_bytes);
+  bool first = !vm_ever_uploaded_[vm.id];
+  vm_ever_uploaded_[vm.id] = true;
+  metrics_.traffic.Add(TrafficCategory::kMemoryUpload,
+                       first ? config_.volumes.first_upload_bytes
+                             : config_.volumes.repeat_upload_bytes);
+  ++metrics_.partial_migrations;
+}
+
+}  // namespace oasis

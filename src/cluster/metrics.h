@@ -1,0 +1,66 @@
+// Everything the §5 evaluation measures, collected during a cluster run.
+
+#ifndef OASIS_SRC_CLUSTER_METRICS_H_
+#define OASIS_SRC_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/net/traffic.h"
+
+namespace oasis {
+
+// One per planning interval: the Fig 7 timeline.
+struct IntervalSnapshot {
+  SimTime time;
+  int active_vms = 0;
+  int powered_hosts = 0;          // home + consolidation, fully powered
+  int powered_home_hosts = 0;
+  int powered_consolidation_hosts = 0;
+  int partial_vms = 0;
+  int full_at_consolidation_vms = 0;
+};
+
+struct ClusterMetrics {
+  // Energy, integrated over the whole run.
+  Joules home_host_energy = 0.0;
+  Joules consolidation_host_energy = 0.0;
+  Joules memory_server_energy = 0.0;
+  Joules baseline_energy = 0.0;  // all home hosts left powered, same VM activity
+
+  Joules TotalEnergy() const {
+    return home_host_energy + consolidation_host_energy + memory_server_energy;
+  }
+  // The headline number: savings relative to the unconsolidated baseline.
+  double EnergySavings() const {
+    return baseline_energy > 0.0 ? 1.0 - TotalEnergy() / baseline_energy : 0.0;
+  }
+
+  // Fig 7: per-interval cluster state.
+  std::vector<IntervalSnapshot> timeline;
+
+  // Fig 9: VMs per powered consolidation host, sampled every interval.
+  EmpiricalCdf consolidation_ratio;
+
+  // Fig 11: user-perceived idle->active transition delays (seconds).
+  EmpiricalCdf transition_delay_s;
+
+  // Fig 10: transfer volumes by category.
+  TrafficAccounting traffic;
+
+  // Operational counters.
+  uint64_t full_migrations = 0;
+  uint64_t partial_migrations = 0;
+  uint64_t reintegrations = 0;
+  uint64_t host_sleeps = 0;
+  uint64_t host_wakes = 0;
+  uint64_t capacity_exhaustions = 0;
+  uint64_t full_to_partial_swaps = 0;
+  uint64_t new_home_moves = 0;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CLUSTER_METRICS_H_

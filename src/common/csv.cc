@@ -1,0 +1,40 @@
+#include "src/common/csv.h"
+
+#include <cassert>
+
+namespace oasis {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> headers)
+    : os_(os), columns_(headers.size()) {
+  WriteRow(headers);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  assert(cells.size() == columns_);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      os_ << ",";
+    }
+    os_ << Escape(cells[i]);
+  }
+  os_ << "\n";
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace oasis

@@ -1,0 +1,29 @@
+// CSV emission so figure series can be re-plotted with external tooling.
+
+#ifndef OASIS_SRC_COMMON_CSV_H_
+#define OASIS_SRC_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace oasis {
+
+class CsvWriter {
+ public:
+  // Writes rows to `os`; does not own the stream.
+  CsvWriter(std::ostream& os, std::vector<std::string> headers);
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+  // Quotes a field per RFC 4180 if it contains commas, quotes or newlines.
+  static std::string Escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+  size_t columns_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_COMMON_CSV_H_

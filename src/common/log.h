@@ -1,0 +1,52 @@
+// Tiny leveled logger. Benchmarks and the cluster manager log at kInfo;
+// per-event detail goes to kDebug and is compiled in but filtered at runtime.
+
+#ifndef OASIS_SRC_COMMON_LOG_H_
+#define OASIS_SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace oasis {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are dropped. Defaults to kWarning
+// so library users see problems but not chatter.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr. Prefer the OASIS_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define OASIS_LOG(level)                                        \
+  if (::oasis::LogLevel::level < ::oasis::GetLogLevel()) {      \
+  } else                                                        \
+    ::oasis::log_internal::LogLine(::oasis::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_COMMON_LOG_H_

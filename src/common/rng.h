@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component in Oasis draws from an explicitly-seeded Rng so
+// that simulation runs are exactly reproducible. The generator is
+// xoshiro256** seeded through SplitMix64, which has far better statistical
+// quality than std::minstd and, unlike std::mt19937, a trivially copyable
+// 32-byte state that makes forking independent streams cheap.
+
+#ifndef OASIS_SRC_COMMON_RNG_H_
+#define OASIS_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace oasis {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift
+  // rejection method to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextRange(double lo, double hi);
+
+  // Bernoulli draw.
+  bool NextBool(double p_true);
+
+  // Standard normal via Box-Muller (cached second deviate).
+  double NextGaussian();
+
+  // Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  // Exponential with the given mean (not rate).
+  double NextExponential(double mean);
+
+  // Bounded Pareto on [lo, hi] with tail index alpha; used for bursty idle
+  // page-request gaps.
+  double NextBoundedPareto(double alpha, double lo, double hi);
+
+  // A statistically independent child generator, derived from this stream.
+  // Forking N children from one parent yields N decorrelated streams.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_COMMON_RNG_H_

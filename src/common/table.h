@@ -1,0 +1,42 @@
+// ASCII table rendering for benchmark harnesses, so every reproduced table
+// and figure prints in a uniform, diff-friendly format.
+
+#ifndef OASIS_SRC_COMMON_TABLE_H_
+#define OASIS_SRC_COMMON_TABLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace oasis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Adds one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Pct(double fraction, int precision = 1);  // 0.28 -> "28.0%"
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints "# <title>" followed by an optional caption — the standard header
+// every bench binary emits before its table.
+void PrintExperimentHeader(std::ostream& os, const std::string& title,
+                           const std::string& caption);
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_COMMON_TABLE_H_

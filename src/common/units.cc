@@ -1,0 +1,32 @@
+#include "src/common/units.h"
+
+#include <cstdio>
+
+namespace oasis {
+
+std::string SimTime::ToClockString() const {
+  int64_t total_seconds = micros_ / 1000000;
+  int64_t day_seconds = ((total_seconds % 86400) + 86400) % 86400;
+  int hh = static_cast<int>(day_seconds / 3600);
+  int mm = static_cast<int>((day_seconds / 60) % 60);
+  int ss = static_cast<int>(day_seconds % 60);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", hh, mm, ss);
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", ToGiB(bytes));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", ToMiB(bytes));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace oasis

@@ -1,0 +1,99 @@
+// Strong unit types and conversion helpers shared by every Oasis module.
+//
+// Simulated time is kept as a 64-bit signed count of microseconds so that a
+// multi-day cluster simulation accumulates no floating-point drift. Byte
+// quantities are 64-bit unsigned. Power and energy are doubles (watts and
+// joules) because they are only ever integrated, never compared for identity.
+
+#ifndef OASIS_SRC_COMMON_UNITS_H_
+#define OASIS_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace oasis {
+
+// --- Time ------------------------------------------------------------------
+
+// A point or span on the simulated clock, in microseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime Micros(int64_t us) { return SimTime(us); }
+  static constexpr SimTime Millis(int64_t ms) { return SimTime(ms * 1000); }
+  static constexpr SimTime Seconds(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr SimTime Minutes(double m) { return Seconds(m * 60.0); }
+  static constexpr SimTime Hours(double h) { return Seconds(h * 3600.0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr double minutes() const { return seconds() / 60.0; }
+  constexpr double hours() const { return seconds() / 3600.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(micros_ + o.micros_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(micros_ - o.micros_); }
+  constexpr SimTime& operator+=(SimTime o) {
+    micros_ += o.micros_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    micros_ -= o.micros_;
+    return *this;
+  }
+  constexpr SimTime operator*(double k) const {
+    return SimTime(static_cast<int64_t>(static_cast<double>(micros_) * k));
+  }
+  constexpr double operator/(SimTime o) const {
+    return static_cast<double>(micros_) / static_cast<double>(o.micros_);
+  }
+
+  // "hh:mm:ss" rendering of a time-of-day (wraps at 24 h).
+  std::string ToClockString() const;
+
+ private:
+  int64_t micros_ = 0;
+};
+
+// --- Bytes -----------------------------------------------------------------
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// The x86 page and the allocation chunk Oasis' hypervisor hands out
+// (2 MiB, matching the prototype's heap-fragmentation avoidance).
+inline constexpr uint64_t kPageSize = 4 * kKiB;
+inline constexpr uint64_t kChunkSize = 2 * kMiB;
+inline constexpr uint64_t kPagesPerChunk = kChunkSize / kPageSize;
+
+constexpr double ToMiB(uint64_t bytes) { return static_cast<double>(bytes) / kMiB; }
+constexpr double ToGiB(uint64_t bytes) { return static_cast<double>(bytes) / kGiB; }
+constexpr uint64_t MiBToBytes(double mib) { return static_cast<uint64_t>(mib * kMiB); }
+
+// Human-friendly "37.6 MiB" / "4.0 GiB" formatting.
+std::string FormatBytes(uint64_t bytes);
+
+// --- Power / energy --------------------------------------------------------
+
+using Watts = double;
+using Joules = double;
+
+constexpr Joules WattHours(double wh) { return wh * 3600.0; }
+constexpr double ToWattHours(Joules j) { return j / 3600.0; }
+constexpr double ToKWh(Joules j) { return j / 3.6e6; }
+
+// Energy from holding a constant power draw for a span of simulated time.
+constexpr Joules EnergyOver(Watts p, SimTime span) { return p * span.seconds(); }
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_COMMON_UNITS_H_

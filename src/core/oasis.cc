@@ -1,0 +1,37 @@
+#include "src/core/oasis.h"
+
+namespace oasis {
+
+ClusterSimulation::ClusterSimulation(const SimulationConfig& config) : config_(config) {}
+
+SimulationResult ClusterSimulation::Run() {
+  SimulationResult result;
+  if (config_.fixed_trace.has_value()) {
+    result.trace = *config_.fixed_trace;
+  } else {
+    TraceGenerator generator(config_.trace, config_.seed ^ 0x7ACEBA5Eull);
+    result.trace = generator.GenerateTraceSet(config_.cluster.TotalVms(), config_.day);
+  }
+  ClusterConfig cluster = config_.cluster;
+  cluster.seed = config_.seed;
+  ClusterManager manager(cluster, result.trace);
+  result.metrics = manager.Run();
+  return result;
+}
+
+RepeatedRunResult RunRepeated(const SimulationConfig& config, int runs) {
+  RepeatedRunResult out;
+  for (int r = 0; r < runs; ++r) {
+    SimulationConfig run_config = config;
+    run_config.seed = config.seed + static_cast<uint64_t>(r) * 0x9E3779B9ull;
+    ClusterSimulation simulation(run_config);
+    SimulationResult result = simulation.Run();
+    out.savings.Add(result.metrics.EnergySavings());
+    out.total_energy_kwh.Add(ToKWh(result.metrics.TotalEnergy()));
+    out.baseline_energy_kwh.Add(ToKWh(result.metrics.baseline_energy));
+    out.runs.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace oasis

@@ -1,0 +1,159 @@
+#include "src/ctrl/controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/ctrl/vm_config_file.h"
+
+namespace oasis {
+namespace {
+
+constexpr char kManagerEndpoint[] = "manager";
+constexpr char kInlinePrefix[] = "inline:";
+
+}  // namespace
+
+void ConfigStore::Put(const std::string& path, const std::string& text) {
+  files_[path] = text;
+}
+
+StatusOr<std::string> ConfigStore::Get(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such config: " + path);
+  }
+  return it->second;
+}
+
+ClusterController::ClusterController(RpcBus* bus, const ConfigStore* store)
+    : bus_(bus), store_(store) {
+  // The manager endpoint exists so agents could push asynchronous reports;
+  // in this repo it simply acknowledges.
+  Status status = bus_->RegisterEndpoint(kManagerEndpoint, [](const ControlMessage&) {
+    return ControlMessage(AckResponse{true, ""});
+  });
+  assert(status.ok());
+  (void)status;
+}
+
+ClusterController::~ClusterController() { bus_->UnregisterEndpoint(kManagerEndpoint); }
+
+void ClusterController::RegisterHost(HostId host, uint64_t memory_capacity_bytes) {
+  hosts_[host] = HostRecord{memory_capacity_bytes, 0};
+}
+
+StatusOr<CreateVmResponse> ClusterController::CreateVm(const std::string& config_path) {
+  StatusOr<std::string> text = store_->Get(config_path);
+  if (!text.ok()) {
+    return text.status();
+  }
+  StatusOr<VmConfigFile> config = ParseVmConfig(*text);
+  if (!config.ok()) {
+    return config.status();
+  }
+  // Pick the reachable host with the most free memory that fits the VM.
+  HostId best = kNoHost;
+  uint64_t best_free = 0;
+  for (const auto& [host, record] : hosts_) {
+    uint64_t free = record.capacity - record.used;
+    if (!record.suspended && free >= config->memory_bytes &&
+        (best == kNoHost || free > best_free) &&
+        bus_->HasEndpoint(HostAgent::EndpointName(host))) {
+      best = host;
+      best_free = free;
+    }
+  }
+  if (best == kNoHost) {
+    return Status::ResourceExhausted("no host can fit vm " + config->vmid);
+  }
+  CreateVmRequest request{std::string(kInlinePrefix) + SerializeVmConfig(*config)};
+  StatusOr<ControlMessage> response =
+      bus_->Call(kManagerEndpoint, HostAgent::EndpointName(best), request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  if (const auto* ack = std::get_if<AckResponse>(&*response)) {
+    return Status::Internal("agent refused creation: " + ack->detail);
+  }
+  const auto* created = std::get_if<CreateVmResponse>(&*response);
+  if (created == nullptr) {
+    return Status::Internal("unexpected agent response");
+  }
+  hosts_[best].used += config->memory_bytes;
+  return *created;
+}
+
+Status ClusterController::MigrateVm(HostId owner, const std::string& vmid,
+                                    MigrationType type, HostId destination) {
+  MigrateCommand command{vmid, type, destination};
+  StatusOr<ControlMessage> response =
+      bus_->Call(kManagerEndpoint, HostAgent::EndpointName(owner), command);
+  if (!response.ok()) {
+    return response.status();
+  }
+  const auto* ack = std::get_if<AckResponse>(&*response);
+  if (ack == nullptr) {
+    return Status::Internal("unexpected agent response");
+  }
+  if (!ack->ok) {
+    return Status::FailedPrecondition(ack->detail);
+  }
+  return Status::Ok();
+}
+
+Status ClusterController::SuspendHost(HostId host) {
+  StatusOr<ControlMessage> response = bus_->Call(
+      kManagerEndpoint, HostAgent::EndpointName(host), SuspendHostCommand{host});
+  if (!response.ok()) {
+    return response.status();
+  }
+  const auto* ack = std::get_if<AckResponse>(&*response);
+  if (ack == nullptr || !ack->ok) {
+    return Status::FailedPrecondition(ack ? ack->detail : "unexpected response");
+  }
+  auto it = hosts_.find(host);
+  if (it != hosts_.end()) {
+    it->second.suspended = true;
+  }
+  return Status::Ok();
+}
+
+Status ClusterController::WakeHost(HostId host) {
+  // §4.1: "the manager wakes up the corresponding host with a network
+  // Wake-on-LAN before issuing the migration or creation call".
+  StatusOr<ControlMessage> response =
+      bus_->Call(kManagerEndpoint, HostAgent::EndpointName(host), WakeHostCommand{host});
+  if (!response.ok()) {
+    return response.status();
+  }
+  auto it = hosts_.find(host);
+  if (it != hosts_.end()) {
+    it->second.suspended = false;
+  }
+  return Status::Ok();
+}
+
+std::vector<HostStatsReport> ClusterController::CollectStats() {
+  std::vector<HostStatsReport> reports;
+  for (const auto& [host, record] : hosts_) {
+    StatusOr<ControlMessage> response =
+        bus_->Call(kManagerEndpoint, HostAgent::EndpointName(host), StatsRequest{});
+    if (!response.ok()) {
+      continue;
+    }
+    if (const auto* stats = std::get_if<HostStatsReport>(&*response)) {
+      reports.push_back(*stats);
+    }
+  }
+  return reports;
+}
+
+StatusOr<uint64_t> ClusterController::FreeBytes(HostId host) const {
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) {
+    return Status::NotFound("unknown host " + std::to_string(host));
+  }
+  return it->second.capacity - it->second.used;
+}
+
+}  // namespace oasis

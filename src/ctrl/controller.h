@@ -1,0 +1,74 @@
+// The cluster manager's control front end (§4.1): clients create VMs by
+// submitting the network-storage path of a configuration file; the manager
+// parses the configuration, selects a host with sufficient resources, and
+// issues the creation call to that host's agent. It also polls agents for
+// periodic statistics and relays migration/suspend/wake commands.
+
+#ifndef OASIS_SRC_CTRL_CONTROLLER_H_
+#define OASIS_SRC_CTRL_CONTROLLER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ctrl/host_agent.h"
+#include "src/ctrl/rpc_bus.h"
+
+namespace oasis {
+
+// Stand-in for the NFS share holding VM configuration files.
+class ConfigStore {
+ public:
+  void Put(const std::string& path, const std::string& text);
+  StatusOr<std::string> Get(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+class ClusterController {
+ public:
+  // `bus` and `store` must outlive the controller. Registers "manager".
+  ClusterController(RpcBus* bus, const ConfigStore* store);
+  ~ClusterController();
+
+  ClusterController(const ClusterController&) = delete;
+  ClusterController& operator=(const ClusterController&) = delete;
+
+  // Tells the controller about a host and its capacity; VM placement only
+  // considers registered hosts whose agents are reachable.
+  void RegisterHost(HostId host, uint64_t memory_capacity_bytes);
+
+  // §4.1 VM creation: resolve the config, pick the host with the most free
+  // memory that fits the VM, and call its agent.
+  StatusOr<CreateVmResponse> CreateVm(const std::string& config_path);
+
+  // Relays a migration tuple <vmid, type, destination> to the owning agent.
+  Status MigrateVm(HostId owner, const std::string& vmid, MigrationType type,
+                   HostId destination);
+
+  Status SuspendHost(HostId host);
+  Status WakeHost(HostId host);
+
+  // Polls every registered agent; unreachable agents are skipped.
+  std::vector<HostStatsReport> CollectStats();
+
+  // Free memory as tracked by placement bookkeeping.
+  StatusOr<uint64_t> FreeBytes(HostId host) const;
+
+ private:
+  struct HostRecord {
+    uint64_t capacity = 0;
+    uint64_t used = 0;
+    bool suspended = false;  // placement skips sleeping hosts (§3.1)
+  };
+
+  RpcBus* bus_;
+  const ConfigStore* store_;
+  std::map<HostId, HostRecord> hosts_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CTRL_CONTROLLER_H_

@@ -1,0 +1,179 @@
+#include "src/ctrl/host_agent.h"
+
+#include <cassert>
+
+#include "src/common/log.h"
+
+namespace oasis {
+namespace {
+
+// VM configurations travel inline on the bus (the in-process stand-in for
+// the network-storage config path of §4.1). Partial migrations push a
+// replica; the destination does not take ownership.
+constexpr char kInlinePrefix[] = "inline:";
+constexpr char kReplicaPrefix[] = "replica:";
+
+AckResponse Nack(const std::string& detail) { return AckResponse{false, detail}; }
+
+}  // namespace
+
+std::string HostAgent::EndpointName(HostId host_id) {
+  return "agent/" + std::to_string(host_id);
+}
+
+HostAgent::HostAgent(RpcBus* bus, HostId host_id, uint64_t memory_capacity_bytes)
+    : bus_(bus), host_id_(host_id), capacity_bytes_(memory_capacity_bytes) {
+  Status status = bus_->RegisterEndpoint(
+      EndpointName(host_id_), [this](const ControlMessage& m) { return Handle(m); });
+  assert(status.ok() && "duplicate agent endpoint");
+  (void)status;
+}
+
+HostAgent::~HostAgent() { bus_->UnregisterEndpoint(EndpointName(host_id_)); }
+
+bool HostAgent::OwnsVm(const std::string& vmid) const {
+  auto it = vms_.find(vmid);
+  return it != vms_.end() && it->second.owner;
+}
+
+bool HostAgent::VmPresent(const std::string& vmid) const {
+  auto it = vms_.find(vmid);
+  return it != vms_.end() && it->second.present;
+}
+
+size_t HostAgent::PresentVmCount() const {
+  size_t n = 0;
+  for (const auto& [vmid, record] : vms_) {
+    if (record.present) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+ControlMessage HostAgent::Handle(const ControlMessage& request) {
+  struct Visitor {
+    HostAgent* agent;
+    ControlMessage operator()(const CreateVmRequest& m) { return agent->HandleCreate(m); }
+    ControlMessage operator()(const MigrateCommand& m) { return agent->HandleMigrate(m); }
+    ControlMessage operator()(const SuspendHostCommand&) {
+      // A host may sleep once no VM *executes* here; owner records whose VMs
+      // were partially migrated away stay behind, served by the memory
+      // server while the host is in S3.
+      if (agent->PresentVmCount() > 0) {
+        return Nack("host still runs VMs");
+      }
+      agent->suspended_ = true;
+      return AckResponse{true, "suspended"};
+    }
+    ControlMessage operator()(const WakeHostCommand&) {
+      agent->suspended_ = false;
+      return AckResponse{true, "powered"};
+    }
+    ControlMessage operator()(const StatsRequest&) { return agent->BuildStats(); }
+    ControlMessage operator()(const CreateVmResponse&) { return Nack("unexpected message"); }
+    ControlMessage operator()(const HostStatsReport&) { return Nack("unexpected message"); }
+    ControlMessage operator()(const AckResponse&) { return Nack("unexpected message"); }
+  };
+  return std::visit(Visitor{this}, request);
+}
+
+ControlMessage HostAgent::HandleCreate(const CreateVmRequest& request) {
+  if (suspended_) {
+    return Nack("host is suspended");
+  }
+  std::string text = request.config_path;
+  bool replica = false;
+  if (text.rfind(kInlinePrefix, 0) == 0) {
+    text = text.substr(sizeof(kInlinePrefix) - 1);
+  } else if (text.rfind(kReplicaPrefix, 0) == 0) {
+    text = text.substr(sizeof(kReplicaPrefix) - 1);
+    replica = true;
+  } else {
+    return Nack("config not resolvable by agent: " + request.config_path);
+  }
+  StatusOr<VmConfigFile> config = ParseVmConfig(text);
+  if (!config.ok()) {
+    return Nack("bad config: " + config.status().message());
+  }
+  auto it = vms_.find(config->vmid);
+  if (it != vms_.end()) {
+    if (!it->second.present && it->second.owner) {
+      // Reintegration: the owner's image is already here; the VM resumes.
+      it->second.present = true;
+      return CreateVmResponse{config->vmid, host_id_};
+    }
+    return Nack("vmid already present: " + config->vmid);
+  }
+  if (config->memory_bytes > free_bytes()) {
+    return Nack("insufficient memory for vm " + config->vmid);
+  }
+  used_bytes_ += config->memory_bytes;
+  std::string vmid = config->vmid;
+  vms_.emplace(vmid, VmRecord{*std::move(config), /*owner=*/!replica, /*present=*/true});
+  return CreateVmResponse{vmid, host_id_};
+}
+
+ControlMessage HostAgent::HandleMigrate(const MigrateCommand& command) {
+  auto it = vms_.find(command.vmid);
+  if (it == vms_.end() || !it->second.present) {
+    return Nack("vm not running on this agent: " + command.vmid);
+  }
+  if (command.destination == host_id_) {
+    return Nack("cannot migrate to self");
+  }
+  const char* prefix =
+      command.type == MigrationType::kPartial ? kReplicaPrefix : kInlinePrefix;
+  CreateVmRequest push{std::string(prefix) + SerializeVmConfig(it->second.config)};
+  StatusOr<ControlMessage> response =
+      bus_->Call(EndpointName(host_id_), EndpointName(command.destination), push);
+  if (!response.ok()) {
+    return Nack("destination unreachable: " + response.status().message());
+  }
+  if (const auto* ack = std::get_if<AckResponse>(&*response)) {
+    return Nack("destination refused: " + ack->detail);
+  }
+  if (!std::holds_alternative<CreateVmResponse>(*response)) {
+    return Nack("unexpected destination response");
+  }
+  if (command.type == MigrationType::kFull) {
+    // §4.2: the destination becomes the owner; the source frees everything,
+    // including any memory-server state.
+    used_bytes_ -= it->second.config.memory_bytes;
+    vms_.erase(it);
+  } else if (it->second.owner) {
+    // Partial migration away: ownership and the memory image stay here; the
+    // VM itself now executes at the destination.
+    it->second.present = false;
+  } else {
+    // A replica moving on (reintegration to its owner, or a consolidation
+    // drain): this host frees its copy.
+    used_bytes_ -= it->second.config.memory_bytes;
+    vms_.erase(it);
+  }
+  return AckResponse{true, "migrated " + command.vmid};
+}
+
+HostStatsReport HostAgent::BuildStats() const {
+  HostStatsReport report;
+  report.host = host_id_;
+  report.memory_utilization =
+      capacity_bytes_ ? static_cast<double>(used_bytes_) / static_cast<double>(capacity_bytes_)
+                      : 0.0;
+  report.cpu_utilization = 0.02 * static_cast<double>(PresentVmCount());
+  report.io_utilization = 0.01 * static_cast<double>(PresentVmCount());
+  for (const auto& [vmid, record] : vms_) {
+    if (!record.present) {
+      continue;  // the VM reports from wherever it executes
+    }
+    VmStats stats;
+    stats.vmid = vmid;
+    stats.memory_bytes = record.config.memory_bytes;
+    stats.cpu_utilization = 0.02;
+    stats.dirty_mib_per_min = 1.2;
+    report.vms.push_back(std::move(stats));
+  }
+  return report;
+}
+
+}  // namespace oasis

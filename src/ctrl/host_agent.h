@@ -1,0 +1,71 @@
+// The host agent (§4.2): a user-level process on each host's administrative
+// domain that creates VMs, executes host-to-host migrations on command,
+// performs ACPI power operations, and reports host/VM statistics.
+//
+// The agent here manages ownership and capacity bookkeeping and answers the
+// control protocol; the heavy lifting (actual page movement, latencies,
+// energy) lives in the hyper/cluster simulation layers, to which the agent
+// is connected in ClusterController demos through the bus.
+
+#ifndef OASIS_SRC_CTRL_HOST_AGENT_H_
+#define OASIS_SRC_CTRL_HOST_AGENT_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/ctrl/messages.h"
+#include "src/ctrl/rpc_bus.h"
+#include "src/ctrl/vm_config_file.h"
+
+namespace oasis {
+
+class HostAgent {
+ public:
+  // Registers endpoint "agent/<host_id>" on `bus` (which must outlive this).
+  HostAgent(RpcBus* bus, HostId host_id, uint64_t memory_capacity_bytes);
+  ~HostAgent();
+
+  HostAgent(const HostAgent&) = delete;
+  HostAgent& operator=(const HostAgent&) = delete;
+
+  static std::string EndpointName(HostId host_id);
+
+  HostId host_id() const { return host_id_; }
+  bool suspended() const { return suspended_; }
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t free_bytes() const { return capacity_bytes_ - used_bytes_; }
+  size_t vm_count() const { return vms_.size(); }
+
+  // The agent holds this VM's record (as owner or as a partial replica).
+  bool HasVm(const std::string& vmid) const { return vms_.count(vmid) > 0; }
+  // §4.2 ownership: the agent controls the VM's memory image/memory server.
+  bool OwnsVm(const std::string& vmid) const;
+  // The VM currently executes here (an owner record left behind by a partial
+  // migration is not present — and does not block host suspend).
+  bool VmPresent(const std::string& vmid) const;
+  size_t PresentVmCount() const;
+
+ private:
+  struct VmRecord {
+    VmConfigFile config;
+    bool owner = true;    // owns the full image and memory-server state
+    bool present = true;  // executing on this host right now
+  };
+
+  ControlMessage Handle(const ControlMessage& request);
+  ControlMessage HandleCreate(const CreateVmRequest& request);
+  ControlMessage HandleMigrate(const MigrateCommand& command);
+  HostStatsReport BuildStats() const;
+
+  RpcBus* bus_;
+  HostId host_id_;
+  uint64_t capacity_bytes_;
+  uint64_t used_bytes_ = 0;
+  bool suspended_ = false;
+  std::map<std::string, VmRecord> vms_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CTRL_HOST_AGENT_H_

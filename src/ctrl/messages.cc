@@ -1,0 +1,248 @@
+#include "src/ctrl/messages.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace oasis {
+namespace {
+
+// Percent-escapes the wire metacharacters.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%' || c == '|' || c == '=' || c == '\n') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      char hex[3] = {s[i + 1], s[i + 2], 0};
+      out += static_cast<char>(std::strtoul(hex, nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+using FieldMap = std::multimap<std::string, std::string>;
+
+std::string Build(const std::string& type, const FieldMap& fields) {
+  std::ostringstream os;
+  os << type;
+  for (const auto& [key, value] : fields) {
+    os << "|" << key << "=" << Escape(value);
+  }
+  return os.str();
+}
+
+StatusOr<std::pair<std::string, FieldMap>> Split(const std::string& line) {
+  FieldMap fields;
+  size_t pos = line.find('|');
+  std::string type = line.substr(0, pos);
+  if (type.empty()) {
+    return Status::InvalidArgument("empty message type");
+  }
+  while (pos != std::string::npos) {
+    size_t next = line.find('|', pos + 1);
+    std::string field = line.substr(pos + 1, next == std::string::npos ? std::string::npos
+                                                                       : next - pos - 1);
+    size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("field without '=': " + field);
+    }
+    fields.emplace(field.substr(0, eq), Unescape(field.substr(eq + 1)));
+    pos = next;
+  }
+  return std::make_pair(type, fields);
+}
+
+StatusOr<std::string> Required(const FieldMap& fields, const std::string& key) {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    return Status::InvalidArgument("missing field: " + key);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+const char* MigrationTypeName(MigrationType t) {
+  return t == MigrationType::kFull ? "full" : "partial";
+}
+
+std::string MessageTypeName(const ControlMessage& message) {
+  struct Visitor {
+    std::string operator()(const CreateVmRequest&) { return "CREATE_VM"; }
+    std::string operator()(const CreateVmResponse&) { return "CREATE_VM_OK"; }
+    std::string operator()(const MigrateCommand&) { return "MIGRATE"; }
+    std::string operator()(const SuspendHostCommand&) { return "SUSPEND_HOST"; }
+    std::string operator()(const WakeHostCommand&) { return "WAKE_HOST"; }
+    std::string operator()(const HostStatsReport&) { return "HOST_STATS"; }
+    std::string operator()(const AckResponse&) { return "ACK"; }
+    std::string operator()(const StatsRequest&) { return "STATS_REQ"; }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+std::string EncodeMessage(const ControlMessage& message) {
+  struct Visitor {
+    std::string operator()(const CreateVmRequest& m) {
+      return Build("CREATE_VM", {{"config", m.config_path}});
+    }
+    std::string operator()(const CreateVmResponse& m) {
+      return Build("CREATE_VM_OK", {{"vmid", m.vmid}, {"host", std::to_string(m.host)}});
+    }
+    std::string operator()(const MigrateCommand& m) {
+      return Build("MIGRATE", {{"vmid", m.vmid},
+                               {"type", MigrationTypeName(m.type)},
+                               {"dest", std::to_string(m.destination)}});
+    }
+    std::string operator()(const SuspendHostCommand& m) {
+      return Build("SUSPEND_HOST", {{"host", std::to_string(m.host)}});
+    }
+    std::string operator()(const WakeHostCommand& m) {
+      return Build("WAKE_HOST", {{"host", std::to_string(m.host)}});
+    }
+    std::string operator()(const HostStatsReport& m) {
+      FieldMap fields = {{"host", std::to_string(m.host)},
+                         {"mem", std::to_string(m.memory_utilization)},
+                         {"cpu", std::to_string(m.cpu_utilization)},
+                         {"io", std::to_string(m.io_utilization)}};
+      for (const VmStats& vm : m.vms) {
+        std::ostringstream os;
+        os << vm.vmid << ":" << vm.memory_bytes << ":" << vm.cpu_utilization << ":"
+           << vm.dirty_mib_per_min;
+        fields.emplace("vm", os.str());
+      }
+      return Build("HOST_STATS", fields);
+    }
+    std::string operator()(const AckResponse& m) {
+      return Build("ACK", {{"ok", m.ok ? "1" : "0"}, {"detail", m.detail}});
+    }
+    std::string operator()(const StatsRequest&) { return Build("STATS_REQ", {}); }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+StatusOr<ControlMessage> DecodeMessage(const std::string& line) {
+  StatusOr<std::pair<std::string, FieldMap>> split = Split(line);
+  if (!split.ok()) {
+    return split.status();
+  }
+  const auto& [type, fields] = *split;
+  auto required = [&](const std::string& key) { return Required(fields, key); };
+
+  if (type == "CREATE_VM") {
+    StatusOr<std::string> config = required("config");
+    if (!config.ok()) {
+      return config.status();
+    }
+    return ControlMessage(CreateVmRequest{*config});
+  }
+  if (type == "CREATE_VM_OK") {
+    StatusOr<std::string> vmid = required("vmid");
+    StatusOr<std::string> host = required("host");
+    if (!vmid.ok() || !host.ok()) {
+      return Status::InvalidArgument("CREATE_VM_OK missing fields");
+    }
+    return ControlMessage(
+        CreateVmResponse{*vmid, static_cast<HostId>(std::strtoul(host->c_str(), nullptr, 10))});
+  }
+  if (type == "MIGRATE") {
+    StatusOr<std::string> vmid = required("vmid");
+    StatusOr<std::string> mtype = required("type");
+    StatusOr<std::string> dest = required("dest");
+    if (!vmid.ok() || !mtype.ok() || !dest.ok()) {
+      return Status::InvalidArgument("MIGRATE missing fields");
+    }
+    MigrateCommand cmd;
+    cmd.vmid = *vmid;
+    if (*mtype == "full") {
+      cmd.type = MigrationType::kFull;
+    } else if (*mtype == "partial") {
+      cmd.type = MigrationType::kPartial;
+    } else {
+      return Status::InvalidArgument("unknown migration type: " + *mtype);
+    }
+    cmd.destination = static_cast<HostId>(std::strtoul(dest->c_str(), nullptr, 10));
+    return ControlMessage(cmd);
+  }
+  if (type == "SUSPEND_HOST" || type == "WAKE_HOST") {
+    StatusOr<std::string> host = required("host");
+    if (!host.ok()) {
+      return host.status();
+    }
+    HostId id = static_cast<HostId>(std::strtoul(host->c_str(), nullptr, 10));
+    if (type == "SUSPEND_HOST") {
+      return ControlMessage(SuspendHostCommand{id});
+    }
+    return ControlMessage(WakeHostCommand{id});
+  }
+  if (type == "HOST_STATS") {
+    StatusOr<std::string> host = required("host");
+    StatusOr<std::string> mem = required("mem");
+    StatusOr<std::string> cpu = required("cpu");
+    StatusOr<std::string> io = required("io");
+    if (!host.ok() || !mem.ok() || !cpu.ok() || !io.ok()) {
+      return Status::InvalidArgument("HOST_STATS missing fields");
+    }
+    HostStatsReport report;
+    report.host = static_cast<HostId>(std::strtoul(host->c_str(), nullptr, 10));
+    report.memory_utilization = std::atof(mem->c_str());
+    report.cpu_utilization = std::atof(cpu->c_str());
+    report.io_utilization = std::atof(io->c_str());
+    auto [begin, end] = fields.equal_range("vm");
+    for (auto it = begin; it != end; ++it) {
+      std::istringstream os(it->second);
+      VmStats vm;
+      std::string token;
+      if (!std::getline(os, vm.vmid, ':') || !std::getline(os, token, ':')) {
+        return Status::InvalidArgument("malformed vm stats: " + it->second);
+      }
+      vm.memory_bytes = std::strtoull(token.c_str(), nullptr, 10);
+      if (!std::getline(os, token, ':')) {
+        return Status::InvalidArgument("malformed vm stats: " + it->second);
+      }
+      vm.cpu_utilization = std::atof(token.c_str());
+      if (!std::getline(os, token, ':')) {
+        return Status::InvalidArgument("malformed vm stats: " + it->second);
+      }
+      vm.dirty_mib_per_min = std::atof(token.c_str());
+      report.vms.push_back(std::move(vm));
+    }
+    return ControlMessage(report);
+  }
+  if (type == "ACK") {
+    StatusOr<std::string> ok = required("ok");
+    if (!ok.ok()) {
+      return ok.status();
+    }
+    AckResponse ack;
+    ack.ok = (*ok == "1");
+    auto it = fields.find("detail");
+    if (it != fields.end()) {
+      ack.detail = it->second;
+    }
+    return ControlMessage(ack);
+  }
+  if (type == "STATS_REQ") {
+    return ControlMessage(StatsRequest{});
+  }
+  return Status::InvalidArgument("unknown message type: " + type);
+}
+
+}  // namespace oasis

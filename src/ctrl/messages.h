@@ -1,0 +1,86 @@
+// Control-plane message types and their wire encoding (§4.1).
+//
+// The manager sends agents migration tuples <vmid, migration type,
+// destination>, VM creation/shutdown calls and suspend commands; agents
+// report periodic host/VM statistics. Messages encode to a single line
+//   TYPE|key=value|key=value...
+// so they can travel any byte stream and appear verbatim in logs.
+
+#ifndef OASIS_SRC_CTRL_MESSAGES_H_
+#define OASIS_SRC_CTRL_MESSAGES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hyper/vm.h"
+
+namespace oasis {
+
+enum class MigrationType { kFull, kPartial };
+
+const char* MigrationTypeName(MigrationType t);
+
+struct CreateVmRequest {
+  std::string config_path;  // path of the VM configuration in network storage
+};
+
+struct CreateVmResponse {
+  std::string vmid;
+  HostId host = kNoHost;
+};
+
+struct MigrateCommand {
+  std::string vmid;
+  MigrationType type = MigrationType::kPartial;
+  HostId destination = kNoHost;
+};
+
+struct SuspendHostCommand {
+  HostId host = kNoHost;
+};
+
+struct WakeHostCommand {
+  HostId host = kNoHost;  // delivered as a Wake-on-LAN by the manager
+};
+
+struct VmStats {
+  std::string vmid;
+  uint64_t memory_bytes = 0;
+  double cpu_utilization = 0.0;
+  double dirty_mib_per_min = 0.0;
+};
+
+struct HostStatsReport {
+  HostId host = kNoHost;
+  double memory_utilization = 0.0;
+  double cpu_utilization = 0.0;
+  double io_utilization = 0.0;
+  std::vector<VmStats> vms;
+};
+
+struct AckResponse {
+  bool ok = false;
+  std::string detail;
+};
+
+// Manager -> agent poll for the periodic statistics report.
+struct StatsRequest {};
+
+using ControlMessage = std::variant<CreateVmRequest, CreateVmResponse, MigrateCommand,
+                                    SuspendHostCommand, WakeHostCommand, HostStatsReport,
+                                    AckResponse, StatsRequest>;
+
+// One-line wire form.
+std::string EncodeMessage(const ControlMessage& message);
+StatusOr<ControlMessage> DecodeMessage(const std::string& line);
+
+// Human-readable type tag ("MIGRATE", "HOST_STATS", ...).
+std::string MessageTypeName(const ControlMessage& message);
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CTRL_MESSAGES_H_

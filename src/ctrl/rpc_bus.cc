@@ -1,0 +1,46 @@
+#include "src/ctrl/rpc_bus.h"
+
+namespace oasis {
+
+Status RpcBus::RegisterEndpoint(const std::string& name, Handler handler) {
+  if (endpoints_.count(name)) {
+    return Status::FailedPrecondition("endpoint already registered: " + name);
+  }
+  endpoints_.emplace(name, std::move(handler));
+  return Status::Ok();
+}
+
+void RpcBus::UnregisterEndpoint(const std::string& name) { endpoints_.erase(name); }
+
+bool RpcBus::HasEndpoint(const std::string& name) const { return endpoints_.count(name) > 0; }
+
+StatusOr<ControlMessage> RpcBus::Call(const std::string& from, const std::string& to,
+                                      const ControlMessage& request) {
+  auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) {
+    return Status::NotFound("no such endpoint: " + to);
+  }
+  // Request leg over the wire.
+  std::string request_line = EncodeMessage(request);
+  Record(from, to, request_line);
+  StatusOr<ControlMessage> decoded_request = DecodeMessage(request_line);
+  if (!decoded_request.ok()) {
+    return decoded_request.status();
+  }
+  ControlMessage response = it->second(*decoded_request);
+  // Response leg.
+  std::string response_line = EncodeMessage(response);
+  Record(to, from, response_line);
+  return DecodeMessage(response_line);
+}
+
+void RpcBus::Record(const std::string& from, const std::string& to, const std::string& line) {
+  ++calls_;
+  bytes_ += line.size();
+  log_.push_back(from + "->" + to + " " + line);
+  while (log_.size() > kLogLimit) {
+    log_.pop_front();
+  }
+}
+
+}  // namespace oasis

@@ -1,0 +1,53 @@
+// In-process RPC bus connecting the cluster manager, host agents and
+// clients (§4.1's "RPC interface"). Every call travels through the wire
+// encoding (EncodeMessage/DecodeMessage) so the protocol is exercised
+// end-to-end, and the last messages are retained for diagnostics.
+
+#ifndef OASIS_SRC_CTRL_RPC_BUS_H_
+#define OASIS_SRC_CTRL_RPC_BUS_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/ctrl/messages.h"
+
+namespace oasis {
+
+class RpcBus {
+ public:
+  // Handles one decoded request and produces the response message.
+  using Handler = std::function<ControlMessage(const ControlMessage&)>;
+
+  // Registers an endpoint; fails if the name is taken.
+  Status RegisterEndpoint(const std::string& name, Handler handler);
+  void UnregisterEndpoint(const std::string& name);
+  bool HasEndpoint(const std::string& name) const;
+
+  // Synchronous request/response. The request is encoded, "transmitted",
+  // decoded at the far end, handled, and the response makes the same trip —
+  // so malformed messages fail exactly as they would on a real socket.
+  StatusOr<ControlMessage> Call(const std::string& from, const std::string& to,
+                                const ControlMessage& request);
+
+  uint64_t calls() const { return calls_; }
+  uint64_t bytes_transferred() const { return bytes_; }
+
+  // The most recent wire lines, newest last ("from->to TYPE|...").
+  const std::deque<std::string>& log() const { return log_; }
+
+ private:
+  void Record(const std::string& from, const std::string& to, const std::string& line);
+
+  std::unordered_map<std::string, Handler> endpoints_;
+  uint64_t calls_ = 0;
+  uint64_t bytes_ = 0;
+  std::deque<std::string> log_;
+  static constexpr size_t kLogLimit = 64;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CTRL_RPC_BUS_H_

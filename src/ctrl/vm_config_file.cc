@@ -1,0 +1,151 @@
+#include "src/ctrl/vm_config_file.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace oasis {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool IsFourDigits(const std::string& s) {
+  if (s.size() != 4) {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint32_t VmConfigFile::VmidNumber() const {
+  return static_cast<uint32_t>(std::strtoul(vmid.c_str(), nullptr, 10));
+}
+
+StatusOr<uint64_t> ParseMemorySize(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty memory size");
+  }
+  char suffix = text.back();
+  std::string digits = text;
+  uint64_t multiplier = 1;
+  if (!std::isdigit(static_cast<unsigned char>(suffix))) {
+    digits = text.substr(0, text.size() - 1);
+    switch (std::toupper(static_cast<unsigned char>(suffix))) {
+      case 'K':
+        multiplier = kKiB;
+        break;
+      case 'M':
+        multiplier = kMiB;
+        break;
+      case 'G':
+        multiplier = kGiB;
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unknown memory suffix: ") + suffix);
+    }
+  }
+  if (digits.empty()) {
+    return Status::InvalidArgument("no digits in memory size: " + text);
+  }
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("malformed memory size: " + text);
+    }
+  }
+  return static_cast<uint64_t>(std::strtoull(digits.c_str(), nullptr, 10)) * multiplier;
+}
+
+StatusOr<VmConfigFile> ParseVmConfig(const std::string& text) {
+  VmConfigFile config;
+  bool have_vmid = false;
+  bool have_disk = false;
+  bool have_memory = false;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": expected 'key = value'");
+    }
+    std::string key = Trim(trimmed.substr(0, eq));
+    std::string value = Trim(trimmed.substr(eq + 1));
+    if (value.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) + ": empty value");
+    }
+    if (key == "vmid") {
+      if (!IsFourDigits(value)) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": vmid must be exactly four digits");
+      }
+      config.vmid = value;
+      have_vmid = true;
+    } else if (key == "disk") {
+      config.disk_image = value;
+      have_disk = true;
+    } else if (key == "memory") {
+      StatusOr<uint64_t> bytes = ParseMemorySize(value);
+      if (!bytes.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) + ": " +
+                                       bytes.status().message());
+      }
+      config.memory_bytes = *bytes;
+      have_memory = true;
+    } else if (key == "vcpus") {
+      int n = std::atoi(value.c_str());
+      if (n <= 0 || n > 256) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": vcpus out of range");
+      }
+      config.vcpus = n;
+    } else if (key == "device") {
+      config.devices.push_back(value);
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": unknown key '" + key + "'");
+    }
+  }
+  if (!have_vmid) {
+    return Status::InvalidArgument("missing vmid");
+  }
+  if (!have_disk) {
+    return Status::InvalidArgument("missing disk");
+  }
+  if (!have_memory) {
+    return Status::InvalidArgument("missing memory");
+  }
+  return config;
+}
+
+std::string SerializeVmConfig(const VmConfigFile& config) {
+  std::ostringstream os;
+  os << "vmid = " << config.vmid << "\n";
+  os << "disk = " << config.disk_image << "\n";
+  os << "memory = " << config.memory_bytes << "\n";
+  os << "vcpus = " << config.vcpus << "\n";
+  for (const std::string& device : config.devices) {
+    os << "device = " << device << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace oasis

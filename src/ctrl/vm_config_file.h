@@ -1,0 +1,52 @@
+// VM configuration files (§4.1).
+//
+// "Each VM configuration file contains a unique four digit vmid used to
+//  identify the VM, the path to the VM's disk image, memory allocation,
+//  number of virtual CPUs, and device configuration such as network and
+//  virtual frame buffer."
+//
+// Format: one `key = value` per line, '#' comments, repeated `device` keys:
+//
+//   vmid   = 0042
+//   disk   = nfs://storage/images/alice.img
+//   memory = 4096M
+//   vcpus  = 1
+//   device = net:bridge0
+//   device = vfb:vnc,port=5942
+
+#ifndef OASIS_SRC_CTRL_VM_CONFIG_FILE_H_
+#define OASIS_SRC_CTRL_VM_CONFIG_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace oasis {
+
+struct VmConfigFile {
+  std::string vmid;  // exactly four digits, e.g. "0042"
+  std::string disk_image;
+  uint64_t memory_bytes = 0;
+  int vcpus = 1;
+  std::vector<std::string> devices;
+
+  // Numeric form of the vmid.
+  uint32_t VmidNumber() const;
+};
+
+// Parses the text of one configuration file. Returns INVALID_ARGUMENT with a
+// line-numbered message on any malformed or missing field.
+StatusOr<VmConfigFile> ParseVmConfig(const std::string& text);
+
+// Inverse of ParseVmConfig (round-trip stable).
+std::string SerializeVmConfig(const VmConfigFile& config);
+
+// Parses memory sizes like "4096M", "4G", "512K", "1073741824".
+StatusOr<uint64_t> ParseMemorySize(const std::string& text);
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CTRL_VM_CONFIG_FILE_H_

@@ -1,0 +1,84 @@
+#include "src/hyper/memory_server.h"
+
+#include <algorithm>
+
+namespace oasis {
+
+MemoryServer::MemoryServer(const MemoryServerConfig& config)
+    : config_(config),
+      sas_(Link(config.sas_bytes_per_sec, config.sas_latency)),
+      meter_(SimTime::Zero(), 0.0) {}
+
+SimTime MemoryServer::Upload(SimTime now, VmId vm, uint64_t compressed_bytes) {
+  images_[vm] += compressed_bytes;
+  return sas_.EnqueueTransfer(now, compressed_bytes);
+}
+
+StatusOr<SimTime> MemoryServer::ServePageRequest(SimTime now, VmId vm, uint64_t page_number) {
+  (void)now;
+  auto it = images_.find(vm);
+  if (it == images_.end()) {
+    return Status::NotFound("no image for vm " + std::to_string(vm));
+  }
+  ++pages_served_;
+  uint64_t chunk = page_number / kPagesPerChunk;
+  SimTime latency = config_.network_rtt + config_.decompress_per_page;
+  if (CacheLookupInsert(vm, chunk)) {
+    ++cache_hits_;
+  } else {
+    latency += config_.disk_seek;
+  }
+  return latency;
+}
+
+void MemoryServer::Remove(VmId vm) {
+  images_.erase(vm);
+  cache_lru_.erase(std::remove_if(cache_lru_.begin(), cache_lru_.end(),
+                                  [vm](const auto& e) { return e.first == vm; }),
+                   cache_lru_.end());
+}
+
+bool MemoryServer::HasImage(VmId vm) const { return images_.count(vm) > 0; }
+
+uint64_t MemoryServer::StoredBytes() const {
+  uint64_t total = 0;
+  for (const auto& [vm, bytes] : images_) {
+    total += bytes;
+  }
+  return total;
+}
+
+bool MemoryServer::CacheLookupInsert(VmId vm, uint64_t chunk) {
+  auto key = std::make_pair(vm, chunk);
+  auto it = std::find(cache_lru_.begin(), cache_lru_.end(), key);
+  bool hit = it != cache_lru_.end();
+  if (hit) {
+    cache_lru_.erase(it);
+  }
+  cache_lru_.push_back(key);
+  while (cache_lru_.size() > config_.chunk_cache_entries) {
+    cache_lru_.pop_front();
+  }
+  return hit;
+}
+
+void MemoryServer::PowerOn(SimTime now) {
+  if (!powered_) {
+    meter_.SetDraw(now, config_.power.TotalWatts());
+    powered_ = true;
+  }
+}
+
+void MemoryServer::PowerOff(SimTime now) {
+  if (powered_) {
+    meter_.SetDraw(now, 0.0);
+    powered_ = false;
+  }
+}
+
+Joules MemoryServer::EnergyUsed(SimTime now) {
+  meter_.Advance(now);
+  return meter_.total_joules();
+}
+
+}  // namespace oasis

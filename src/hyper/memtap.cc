@@ -1,0 +1,50 @@
+#include "src/hyper/memtap.h"
+
+namespace oasis {
+
+Memtap::Memtap(MemoryServer* server, VmId vm, uint64_t total_pages, uint64_t fault_seed)
+    : server_(server), vm_(vm), total_pages_(total_pages), rng_(fault_seed) {}
+
+StatusOr<SimTime> Memtap::FaultIn(SimTime now, uint64_t page) {
+  StatusOr<SimTime> latency = server_->ServePageRequest(now, vm_, page);
+  if (!latency.ok()) {
+    return latency.status();
+  }
+  last_page_ = page;
+  ++pages_fetched_;
+  return latency;
+}
+
+StatusOr<SimTime> Memtap::FaultInMany(SimTime now, uint64_t count, double locality) {
+  SimTime total = SimTime::Zero();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t page;
+    if (i > 0 && rng_.NextBool(locality)) {
+      // Neighbouring page in the same 2 MiB chunk as the previous fault.
+      uint64_t chunk_base = (last_page_ / kPagesPerChunk) * kPagesPerChunk;
+      page = chunk_base + rng_.NextBelow(kPagesPerChunk);
+    } else {
+      page = rng_.NextBelow(total_pages_);
+    }
+    StatusOr<SimTime> latency = FaultIn(now + total, page);
+    if (!latency.ok()) {
+      return latency.status();
+    }
+    total += *latency;
+  }
+  return total;
+}
+
+StatusOr<SimTime> SimulatePartialVmAppStart(const AppStartupProfile& app, Memtap& memtap,
+                                            SimTime now, double locality) {
+  uint64_t pages = (app.startup_working_set + kPageSize - 1) / kPageSize;
+  StatusOr<SimTime> stall = memtap.FaultInMany(now, pages, locality);
+  if (!stall.ok()) {
+    return stall.status();
+  }
+  // The app's own computation overlaps nothing: partial VM vCPUs block on
+  // every fault, so latency is CPU time plus the sum of fault stalls.
+  return app.full_vm_startup + *stall;
+}
+
+}  // namespace oasis

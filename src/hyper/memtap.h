@@ -1,0 +1,54 @@
+// memtap: the per-partial-VM user-level process that services page faults by
+// fetching pages from the VM's memory server (§4.2).
+//
+// Besides per-fault bookkeeping it provides the Fig 6 experiment: simulate
+// an application start inside a partial VM, where every missing page of the
+// app's start-up working set must fault through the memory server.
+
+#ifndef OASIS_SRC_HYPER_MEMTAP_H_
+#define OASIS_SRC_HYPER_MEMTAP_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/hyper/memory_server.h"
+#include "src/hyper/workloads.h"
+
+namespace oasis {
+
+class Memtap {
+ public:
+  // `server` must outlive the memtap. `fault_seed` drives the page-address
+  // pattern of simulated faults.
+  Memtap(MemoryServer* server, VmId vm, uint64_t total_pages, uint64_t fault_seed);
+
+  // Services one fault at `page`; returns its latency.
+  StatusOr<SimTime> FaultIn(SimTime now, uint64_t page);
+
+  // Services `count` faults with a pseudo-random page pattern in which
+  // `locality` of consecutive faults land in the previous fault's 2 MiB
+  // chunk (warm in the server cache). Returns total stall time.
+  StatusOr<SimTime> FaultInMany(SimTime now, uint64_t count, double locality);
+
+  uint64_t pages_fetched() const { return pages_fetched_; }
+  uint64_t bytes_fetched() const { return pages_fetched_ * kPageSize; }
+
+ private:
+  MemoryServer* server_;
+  VmId vm_;
+  uint64_t total_pages_;
+  Rng rng_;
+  uint64_t last_page_ = 0;
+  uint64_t pages_fetched_ = 0;
+};
+
+// Simulated start of `app` inside a partial VM: the start-up working set
+// faults in page by page (with `locality` chunk reuse), interleaved with the
+// app's own CPU time. Returns total start-up latency.
+StatusOr<SimTime> SimulatePartialVmAppStart(const AppStartupProfile& app, Memtap& memtap,
+                                            SimTime now, double locality = 0.12);
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_HYPER_MEMTAP_H_

@@ -1,0 +1,44 @@
+#include "src/hyper/migration_model.h"
+
+namespace oasis {
+
+FullMigrationPlan MigrationModel::PlanFullMigration(uint64_t memory_bytes) const {
+  FullMigrationPlan plan;
+  plan.bytes = memory_bytes;
+  plan.duration =
+      SimTime::Seconds(static_cast<double>(memory_bytes) / config_.live_migration_bytes_per_sec);
+  return plan;
+}
+
+PartialMigrationPlan MigrationModel::ExecutePartialMigration(Vm& vm, bool differential) const {
+  PartialMigrationPlan plan;
+  plan.differential = differential;
+  if (differential) {
+    plan.upload_pages = vm.image().BeginUploadEpoch();
+  } else {
+    plan.upload_pages = vm.image().touched_pages();
+    vm.image().BeginUploadEpoch();  // a full upload also resets the dirty set
+  }
+  plan.upload_bytes_raw = plan.upload_pages * kPageSize;
+  plan.upload_bytes_compressed = vm.image().CompressedBytesFor(plan.upload_pages);
+  plan.upload_time = SimTime::Seconds(static_cast<double>(plan.upload_bytes_compressed) /
+                                      config_.upload_bytes_per_sec);
+  plan.descriptor_bytes = vm.config().descriptor_bytes;
+  plan.descriptor_time =
+      config_.descriptor_fixed_overhead +
+      SimTime::Seconds(static_cast<double>(plan.descriptor_bytes) /
+                       config_.descriptor_bytes_per_sec);
+  plan.total = plan.upload_time + plan.descriptor_time;
+  return plan;
+}
+
+ReintegrationPlan MigrationModel::PlanReintegration(uint64_t dirty_bytes) const {
+  ReintegrationPlan plan;
+  plan.dirty_bytes = dirty_bytes;
+  plan.duration = config_.reintegration_fixed_overhead +
+                  SimTime::Seconds(static_cast<double>(dirty_bytes) /
+                                   config_.reintegration_bytes_per_sec);
+  return plan;
+}
+
+}  // namespace oasis

@@ -1,0 +1,155 @@
+#include "src/hyper/page_auth.h"
+
+#include <cstring>
+
+namespace oasis {
+namespace {
+
+uint64_t Rotl(uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+
+void SipRound(uint64_t& v0, uint64_t& v1, uint64_t& v2, uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl(v0, 32);
+  v2 += v3;
+  v3 = Rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl(v2, 32);
+}
+
+// Little-endian struct-to-bytes for MAC'ing small headers.
+template <typename T>
+void AppendLe(std::vector<uint8_t>& out, T value) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+uint64_t SipHash24(const AuthKey& key, const uint8_t* data, size_t length) {
+  uint64_t v0 = key.k0 ^ 0x736F6D6570736575ull;
+  uint64_t v1 = key.k1 ^ 0x646F72616E646F6Dull;
+  uint64_t v2 = key.k0 ^ 0x6C7967656E657261ull;
+  uint64_t v3 = key.k1 ^ 0x7465646279746573ull;
+
+  const size_t whole_words = length / 8;
+  for (size_t w = 0; w < whole_words; ++w) {
+    uint64_t m;
+    std::memcpy(&m, data + w * 8, 8);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+  // Final word: remaining bytes plus the length in the top byte.
+  uint64_t last = static_cast<uint64_t>(length & 0xFF) << 56;
+  for (size_t i = 0; i < length % 8; ++i) {
+    last |= static_cast<uint64_t>(data[whole_words * 8 + i]) << (8 * i);
+  }
+  v3 ^= last;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xFF;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+uint64_t SipHash24(const AuthKey& key, const std::vector<uint8_t>& data) {
+  return SipHash24(key, data.data(), data.size());
+}
+
+AuthKey KeyAuthority::IssueKey(VmId vm) const {
+  // Derive the per-VM key by MAC'ing the vmid under the authority secret.
+  AuthKey root{seed_, ~seed_};
+  std::vector<uint8_t> id;
+  AppendLe(id, static_cast<uint64_t>(vm));
+  uint64_t k0 = SipHash24(root, id);
+  AppendLe(id, k0);
+  uint64_t k1 = SipHash24(root, id);
+  return AuthKey{k0, k1};
+}
+
+namespace {
+
+uint64_t RequestMac(const AuthKey& key, VmId vm, uint64_t page, uint64_t nonce) {
+  std::vector<uint8_t> bytes;
+  AppendLe(bytes, static_cast<uint64_t>(vm));
+  AppendLe(bytes, page);
+  AppendLe(bytes, nonce);
+  return SipHash24(key, bytes);
+}
+
+uint64_t ResponseMac(const AuthKey& key, uint64_t page, const PageBytes& payload) {
+  std::vector<uint8_t> bytes;
+  AppendLe(bytes, page);
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return SipHash24(key, bytes);
+}
+
+}  // namespace
+
+AuthenticatedPageRequest AuthenticatedClient::MakeRequest(uint64_t page_number) {
+  AuthenticatedPageRequest request;
+  request.vm = vm_;
+  request.page_number = page_number;
+  request.nonce = next_nonce_++;
+  request.mac = RequestMac(key_, vm_, page_number, request.nonce);
+  return request;
+}
+
+Status AuthenticatedClient::VerifyResponse(const AuthenticatedPageResponse& response) const {
+  if (ResponseMac(key_, response.page_number, response.payload) != response.mac) {
+    return Status::FailedPrecondition("page payload failed authentication");
+  }
+  return Status::Ok();
+}
+
+void AuthenticatedServer::AdmitVm(VmId vm) { admitted_[vm] = authority_->IssueKey(vm); }
+
+void AuthenticatedServer::EvictVm(VmId vm) {
+  admitted_.erase(vm);
+  seen_nonces_.erase(vm);
+}
+
+Status AuthenticatedServer::VerifyRequest(const AuthenticatedPageRequest& request) {
+  auto it = admitted_.find(request.vm);
+  if (it == admitted_.end()) {
+    ++rejected_;
+    return Status::FailedPrecondition("vm not served here: " + std::to_string(request.vm));
+  }
+  if (RequestMac(it->second, request.vm, request.page_number, request.nonce) != request.mac) {
+    ++rejected_;
+    return Status::FailedPrecondition("request failed authentication");
+  }
+  auto [unused, inserted] = seen_nonces_[request.vm].insert(request.nonce);
+  (void)unused;
+  if (!inserted) {
+    ++rejected_;
+    return Status::InvalidArgument("replayed nonce");
+  }
+  return Status::Ok();
+}
+
+AuthenticatedPageResponse AuthenticatedServer::MakeResponse(VmId vm, uint64_t page_number,
+                                                            PageBytes payload) {
+  AuthenticatedPageResponse response;
+  response.page_number = page_number;
+  response.mac = ResponseMac(admitted_.at(vm), page_number, payload);
+  response.payload = std::move(payload);
+  return response;
+}
+
+}  // namespace oasis

@@ -1,0 +1,50 @@
+#include "src/hyper/precopy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace oasis {
+
+PrecopyResult SimulatePrecopyMigration(uint64_t memory_bytes, const PrecopyConfig& config) {
+  assert(config.link_bytes_per_sec > 0.0);
+  PrecopyResult result;
+  double seconds_total = 0.0;
+
+  // Round 0 ships the whole allocation while the VM keeps dirtying pages.
+  uint64_t to_send = memory_bytes;
+  for (int round = 0; round < config.max_rounds; ++round) {
+    double round_seconds = static_cast<double>(to_send) / config.link_bytes_per_sec;
+    result.rounds.push_back(
+        {round, to_send, SimTime::Seconds(round_seconds)});
+    result.total_bytes += to_send;
+    seconds_total += round_seconds;
+
+    // Pages dirtied while this round streamed; they form the next round.
+    uint64_t dirtied = static_cast<uint64_t>(config.dirty_bytes_per_sec * round_seconds);
+    dirtied = std::min(dirtied, memory_bytes);  // can't dirty more than exists
+    to_send = dirtied;
+    if (to_send <= config.stop_and_copy_threshold) {
+      result.converged = true;
+      break;
+    }
+    // If the VM dirties faster than the link drains, iterating cannot help.
+    if (config.dirty_bytes_per_sec >= config.link_bytes_per_sec) {
+      break;
+    }
+  }
+
+  // Stop-and-copy: suspend, ship the residue + context, resume.
+  double final_seconds = static_cast<double>(to_send) / config.link_bytes_per_sec;
+  result.total_bytes += to_send;
+  result.downtime = SimTime::Seconds(final_seconds) + config.control_overhead * 0.25;
+  seconds_total += final_seconds;
+  result.total_duration = SimTime::Seconds(seconds_total) + config.control_overhead;
+  return result;
+}
+
+double EffectivePrecopyBytesPerSec(uint64_t memory_bytes, const PrecopyConfig& config) {
+  PrecopyResult r = SimulatePrecopyMigration(memory_bytes, config);
+  return static_cast<double>(memory_bytes) / r.total_duration.seconds();
+}
+
+}  // namespace oasis

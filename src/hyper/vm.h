@@ -1,0 +1,80 @@
+// Virtual machine state as the Oasis hypervisor extension sees it.
+//
+// A Vm couples identity/configuration with a page-granular MemoryImage.
+// Activity (active/idle) is what the cluster manager's policies react to;
+// residency records where the VM currently executes and in what form
+// (full at home, full on a consolidation host, or partial).
+
+#ifndef OASIS_SRC_HYPER_VM_H_
+#define OASIS_SRC_HYPER_VM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/mem/access_generator.h"
+#include "src/mem/memory_image.h"
+
+namespace oasis {
+
+using VmId = uint32_t;
+using HostId = uint32_t;
+inline constexpr HostId kNoHost = UINT32_MAX;
+inline constexpr VmId kNoVm = UINT32_MAX;
+
+enum class VmActivity { kActive, kIdle };
+enum class VmResidency {
+  kFullAtHome,           // complete image resident on its home host
+  kFullAtConsolidation,  // live-migrated in full to a consolidation host
+  kPartial,              // partial VM: executes remotely, pages fault in
+};
+
+const char* VmActivityName(VmActivity a);
+const char* VmResidencyName(VmResidency r);
+
+struct VmConfig {
+  VmId id = 0;
+  uint64_t memory_bytes = 4 * kGiB;
+  int vcpus = 1;
+  VmType type = VmType::kDesktop;
+  uint64_t seed = 1;
+  // Size of the descriptor (page tables, execution context, device state)
+  // pushed to create a partial VM — §4.4.3 measures 16.0±0.5 MiB.
+  uint64_t descriptor_bytes = 16 * kMiB;
+};
+
+class Vm {
+ public:
+  explicit Vm(const VmConfig& config);
+
+  const VmConfig& config() const { return config_; }
+  VmId id() const { return config_.id; }
+
+  VmActivity activity() const { return activity_; }
+  void set_activity(VmActivity a) { activity_ = a; }
+
+  VmResidency residency() const { return residency_; }
+  void set_residency(VmResidency r) { residency_ = r; }
+
+  HostId home_host() const { return home_host_; }
+  void set_home_host(HostId h) { home_host_ = h; }
+  HostId current_host() const { return current_host_; }
+  void set_current_host(HostId h) { current_host_ = h; }
+
+  MemoryImage& image() { return image_; }
+  const MemoryImage& image() const { return image_; }
+
+  std::string DebugString() const;
+
+ private:
+  VmConfig config_;
+  VmActivity activity_ = VmActivity::kActive;
+  VmResidency residency_ = VmResidency::kFullAtHome;
+  HostId home_host_ = kNoHost;
+  HostId current_host_ = kNoHost;
+  MemoryImage image_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_HYPER_VM_H_

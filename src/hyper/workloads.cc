@@ -1,0 +1,101 @@
+#include "src/hyper/workloads.h"
+
+namespace oasis {
+
+uint64_t Workload::TotalNewBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : steps) {
+    total += s.new_bytes;
+  }
+  return total;
+}
+
+uint64_t Workload::TotalDirtyBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : steps) {
+    total += s.dirty_bytes;
+  }
+  return total;
+}
+
+Workload BaseSystemFootprint() {
+  // Linux + GNOME after boot, before user applications (§4.4.1 setup).
+  return Workload{
+      "base-system",
+      {
+          {"kernel+initramfs", 180 * kMiB, 0},
+          {"systemd+services", 220 * kMiB, 0},
+          {"Xorg+GNOME shell", 520 * kMiB, 0},
+          {"caches+buffers", 310 * kMiB, 0},
+      },
+  };
+}
+
+Workload DesktopWorkload1() {
+  // Table 2, Workload 1: heavily multitasking user.
+  return Workload{
+      "workload-1",
+      {
+          {"Thunderbird mail", 210 * kMiB, 30 * kMiB},
+          {"Pidgin IM", 75 * kMiB, 10 * kMiB},
+          {"LibreOffice (3 documents)", 320 * kMiB, 60 * kMiB},
+          {"Evince (PDF)", 95 * kMiB, 15 * kMiB},
+          {"Firefox: CNN", 145 * kMiB, 40 * kMiB},
+          {"Firefox: Slashdot", 105 * kMiB, 30 * kMiB},
+          {"Firefox: Google Maps", 185 * kMiB, 50 * kMiB},
+          {"Firefox: SunSpider", 125 * kMiB, 35 * kMiB},
+          {"Firefox: Acid3", 105 * kMiB, 30 * kMiB},
+      },
+  };
+}
+
+Workload DesktopWorkload2() {
+  // Table 2, Workload 2: adds four sites, three documents and a PDF.
+  return Workload{
+      "workload-2",
+      {
+          {"Firefox: Shopping.HP.com", 60 * kMiB, 15 * kMiB},
+          {"Firefox: CDW.com", 55 * kMiB, 15 * kMiB},
+          {"Firefox: BBC News", 65 * kMiB, 15 * kMiB},
+          {"Firefox: GlobeAndMail", 60 * kMiB, 15 * kMiB},
+          {"LibreOffice (3 more documents)", 100 * kMiB, 25 * kMiB},
+          {"Evince (another PDF)", 40 * kMiB, 10 * kMiB},
+      },
+  };
+}
+
+Workload IdleBackgroundChurn(SimTime duration) {
+  // Mail polls, IM keepalives, cron jobs: ~1.2 MiB/minute of re-dirtied
+  // pages plus a small trickle of genuinely new allocations.
+  double minutes = duration.minutes();
+  return Workload{
+      "idle-churn",
+      {
+          {"background services", static_cast<uint64_t>(0.15 * minutes * kMiB),
+           static_cast<uint64_t>(1.2 * minutes * kMiB)},
+      },
+  };
+}
+
+void ApplyWorkload(Vm& vm, const Workload& workload) {
+  for (const auto& step : workload.steps) {
+    vm.image().TouchNewBytes(step.new_bytes);
+    vm.image().DirtyTouchedPages(step.dirty_bytes / kPageSize);
+  }
+}
+
+std::vector<AppStartupProfile> Figure6Applications() {
+  // Start-up working sets and warm full-VM latencies for the VDI desktop
+  // applications Fig 6 measures. The partial-VM latency emerges from demand
+  // paging these working sets through the memory server.
+  return {
+      {"xterm", 9 * kMiB, SimTime::Seconds(0.3)},
+      {"Pidgin IM", 42 * kMiB, SimTime::Seconds(0.9)},
+      {"Evince (PDF)", 55 * kMiB, SimTime::Seconds(1.0)},
+      {"Thunderbird", 96 * kMiB, SimTime::Seconds(1.6)},
+      {"Firefox (site)", 118 * kMiB, SimTime::Seconds(2.4)},
+      {"LibreOffice (document)", 131 * kMiB, SimTime::Seconds(1.5)},
+  };
+}
+
+}  // namespace oasis

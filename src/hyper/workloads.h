@@ -1,0 +1,62 @@
+// The desktop workloads of Table 2 and the application start-up profiles of
+// Figure 6, expressed as memory-touch scripts a Vm can execute.
+//
+// Workload 1 primes a freshly booted desktop VM with a heavy multitasking
+// mix (mail, IM, three office documents, a PDF, five browser tabs);
+// Workload 2 adds four more sites, three documents and another PDF. The
+// byte amounts are calibrated so the resulting uploads reproduce the §4.4.2
+// latencies (first upload ≈ 10.2 s and differential upload ≈ 2.2 s at the
+// SAS drive's 128 MiB/s).
+
+#ifndef OASIS_SRC_HYPER_WORKLOADS_H_
+#define OASIS_SRC_HYPER_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/hyper/vm.h"
+
+namespace oasis {
+
+struct WorkloadStep {
+  std::string application;
+  uint64_t new_bytes;    // memory touched for the first time
+  uint64_t dirty_bytes;  // already-touched memory re-written
+};
+
+struct Workload {
+  std::string name;
+  std::vector<WorkloadStep> steps;
+
+  uint64_t TotalNewBytes() const;
+  uint64_t TotalDirtyBytes() const;
+};
+
+// The OS boot + desktop-environment footprint present before any workload.
+Workload BaseSystemFootprint();
+// Table 2's Workload 1 and Workload 2.
+Workload DesktopWorkload1();
+Workload DesktopWorkload2();
+// Background churn while a VM idles for `duration` (mail polls, IM
+// keepalives §4.4.1): a slow trickle of dirtied pages.
+Workload IdleBackgroundChurn(SimTime duration);
+
+// Applies a workload to a VM's memory image (touches then dirties).
+void ApplyWorkload(Vm& vm, const Workload& workload);
+
+// --- Figure 6: application start-up profiles --------------------------------
+
+struct AppStartupProfile {
+  std::string name;
+  uint64_t startup_working_set;  // bytes that must be resident to finish starting
+  SimTime full_vm_startup;       // start-up latency with all memory local
+};
+
+// The applications Fig 6 launches inside full and partial VMs.
+std::vector<AppStartupProfile> Figure6Applications();
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_HYPER_WORKLOADS_H_

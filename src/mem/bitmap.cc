@@ -1,0 +1,101 @@
+#include "src/mem/bitmap.h"
+
+#include <bit>
+#include <cassert>
+
+namespace oasis {
+
+namespace {
+constexpr size_t kWordBits = 64;
+}
+
+Bitmap::Bitmap(size_t bits) : bits_(bits), words_((bits + kWordBits - 1) / kWordBits, 0) {}
+
+bool Bitmap::Get(size_t i) const {
+  assert(i < bits_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void Bitmap::Set(size_t i) {
+  assert(i < bits_);
+  words_[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
+}
+
+void Bitmap::Clear(size_t i) {
+  assert(i < bits_);
+  words_[i / kWordBits] &= ~(uint64_t{1} << (i % kWordBits));
+}
+
+void Bitmap::SetRange(size_t first, size_t count) {
+  assert(first + count <= bits_);
+  for (size_t i = first; i < first + count; ++i) {
+    Set(i);
+  }
+}
+
+void Bitmap::ClearAll() {
+  for (auto& w : words_) {
+    w = 0;
+  }
+}
+
+void Bitmap::SetAll() {
+  for (auto& w : words_) {
+    w = ~uint64_t{0};
+  }
+  // Mask tail bits beyond size so Count() stays exact.
+  size_t tail = bits_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+size_t Bitmap::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) {
+    n += static_cast<size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+void Bitmap::ForEachSet(const std::function<void(size_t)>& fn) const {
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      int bit = std::countr_zero(w);
+      fn(wi * kWordBits + static_cast<size_t>(bit));
+      w &= w - 1;
+    }
+  }
+}
+
+void Bitmap::OrWith(const Bitmap& other) {
+  assert(bits_ == other.bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+void Bitmap::AndNotWith(const Bitmap& other) {
+  assert(bits_ == other.bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+}
+
+size_t Bitmap::FindFirstClear(size_t from) const {
+  for (size_t i = from; i < bits_; ++i) {
+    size_t wi = i / kWordBits;
+    if (words_[wi] == ~uint64_t{0}) {
+      // Skip to the next word boundary.
+      i = (wi + 1) * kWordBits - 1;
+      continue;
+    }
+    if (!Get(i)) {
+      return i;
+    }
+  }
+  return bits_;
+}
+
+}  // namespace oasis

@@ -1,0 +1,50 @@
+// Dense fixed-size bitmap used for per-page state in VM memory images.
+
+#ifndef OASIS_SRC_MEM_BITMAP_H_
+#define OASIS_SRC_MEM_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace oasis {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t bits);
+
+  size_t size() const { return bits_; }
+
+  bool Get(size_t i) const;
+  void Set(size_t i);
+  void Clear(size_t i);
+  void SetRange(size_t first, size_t count);
+  void ClearAll();
+  void SetAll();
+
+  // Number of set bits.
+  size_t Count() const;
+
+  // Calls fn(i) for every set bit, in ascending order.
+  void ForEachSet(const std::function<void(size_t)>& fn) const;
+
+  // this |= other (sizes must match).
+  void OrWith(const Bitmap& other);
+  // this &= ~other (sizes must match).
+  void AndNotWith(const Bitmap& other);
+
+  // Index of the first clear bit at or after `from`; size() if none.
+  size_t FindFirstClear(size_t from = 0) const;
+
+  bool operator==(const Bitmap& other) const = default;
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_MEM_BITMAP_H_

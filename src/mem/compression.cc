@@ -1,0 +1,119 @@
+#include "src/mem/compression.h"
+
+#include <cstring>
+
+namespace oasis {
+namespace {
+
+constexpr size_t kHashBits = 13;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void FlushLiterals(const std::vector<uint8_t>& input, size_t lit_start, size_t lit_end,
+                   std::vector<uint8_t>& out) {
+  size_t n = lit_end - lit_start;
+  while (n > 0) {
+    size_t run = std::min<size_t>(n, 128);
+    out.push_back(static_cast<uint8_t>(run - 1));
+    out.insert(out.end(), input.begin() + static_cast<long>(lit_start),
+               input.begin() + static_cast<long>(lit_start + run));
+    lit_start += run;
+    n -= run;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  if (input.empty()) {
+    return out;
+  }
+  out.reserve(input.size() / 2);
+
+  // Last seen position of each 4-byte hash; kNone means unseen.
+  constexpr uint32_t kNone = 0xFFFFFFFFu;
+  uint32_t table[kHashSize];
+  std::memset(table, 0xFF, sizeof(table));
+
+  size_t pos = 0;
+  size_t lit_start = 0;
+  const size_t n = input.size();
+  while (pos + kMinMatch <= n) {
+    uint32_t h = Hash4(&input[pos]);
+    uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (cand != kNone && pos - cand <= 0xFFFF &&
+        std::memcmp(&input[cand], &input[pos], kMinMatch) == 0) {
+      // Extend the match.
+      size_t len = kMinMatch;
+      size_t max_len = std::min(kMaxMatch, n - pos);
+      while (len < max_len && input[cand + len] == input[pos + len]) {
+        ++len;
+      }
+      FlushLiterals(input, lit_start, pos, out);
+      size_t offset = pos - cand;
+      out.push_back(static_cast<uint8_t>(0x80u | (len - kMinMatch)));
+      out.push_back(static_cast<uint8_t>(offset & 0xFF));
+      out.push_back(static_cast<uint8_t>((offset >> 8) & 0xFF));
+      pos += len;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  FlushLiterals(input, lit_start, n, out);
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> LzDecompress(const std::vector<uint8_t>& compressed,
+                                                 size_t expected_size) {
+  std::vector<uint8_t> out;
+  out.reserve(expected_size);
+  size_t pos = 0;
+  const size_t n = compressed.size();
+  while (pos < n) {
+    uint8_t token = compressed[pos++];
+    if (token & 0x80u) {
+      size_t len = (token & 0x7Fu) + kMinMatch;
+      if (pos + 2 > n) {
+        return std::nullopt;
+      }
+      size_t offset = compressed[pos] | (static_cast<size_t>(compressed[pos + 1]) << 8);
+      pos += 2;
+      if (offset == 0 || offset > out.size()) {
+        return std::nullopt;
+      }
+      size_t src = out.size() - offset;
+      for (size_t i = 0; i < len; ++i) {
+        out.push_back(out[src + i]);  // byte-by-byte: overlapping copies are legal
+      }
+    } else {
+      size_t run = static_cast<size_t>(token) + 1;
+      if (pos + run > n) {
+        return std::nullopt;
+      }
+      out.insert(out.end(), compressed.begin() + static_cast<long>(pos),
+                 compressed.begin() + static_cast<long>(pos + run));
+      pos += run;
+    }
+  }
+  if (out.size() != expected_size) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+double CompressionRatio(const std::vector<uint8_t>& input) {
+  if (input.empty()) {
+    return 1.0;
+  }
+  return static_cast<double>(LzCompress(input).size()) / static_cast<double>(input.size());
+}
+
+}  // namespace oasis

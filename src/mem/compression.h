@@ -1,0 +1,39 @@
+// Real-time LZ77-style page compression.
+//
+// Stands in for the LZO library the prototype uses on every page pushed to
+// the memory server (§4.3). Like LZO this is a byte-oriented
+// literal-run/match format tuned for speed over ratio, so compressed sizes
+// react honestly to page contents (zero pages collapse, text compresses
+// well, random data stays put).
+//
+// Format: a sequence of tokens.
+//   0xxxxxxx                 -> literal run of (x+1) bytes (1..128) follows
+//   1xxxxxxx <off_lo> <off_hi> -> copy (x + kMinMatch) bytes from `offset`
+//                               bytes back (1..65535)
+// Matches are at least kMinMatch (4) and at most kMaxMatch (131) bytes.
+
+#ifndef OASIS_SRC_MEM_COMPRESSION_H_
+#define OASIS_SRC_MEM_COMPRESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace oasis {
+
+inline constexpr size_t kMinMatch = 4;
+inline constexpr size_t kMaxMatch = kMinMatch + 127;
+
+// Compresses `input`; output is self-delimiting given its size.
+std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input);
+
+// Inverse of LzCompress. Returns nullopt on corrupt input.
+std::optional<std::vector<uint8_t>> LzDecompress(const std::vector<uint8_t>& compressed,
+                                                 size_t expected_size);
+
+// compressed_size / input_size for one buffer (1.0 when input is empty).
+double CompressionRatio(const std::vector<uint8_t>& input);
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_MEM_COMPRESSION_H_

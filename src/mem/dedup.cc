@@ -1,0 +1,44 @@
+#include "src/mem/dedup.h"
+
+namespace oasis {
+
+uint64_t HashPage(const PageBytes& page) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV offset basis
+  for (uint8_t byte : page) {
+    h ^= byte;
+    h *= 0x100000001B3ull;  // FNV prime
+  }
+  return h;
+}
+
+uint64_t DedupPageStore::Insert(const PageBytes& page) {
+  uint64_t hash = HashPage(page);
+  ++refcounts_[hash];
+  ++total_refs_;
+  return hash;
+}
+
+bool DedupPageStore::Remove(uint64_t content_hash) {
+  auto it = refcounts_.find(content_hash);
+  if (it == refcounts_.end()) {
+    return false;
+  }
+  --total_refs_;
+  if (--it->second == 0) {
+    refcounts_.erase(it);
+  }
+  return true;
+}
+
+bool DedupPageStore::Contains(uint64_t content_hash) const {
+  return refcounts_.count(content_hash) > 0;
+}
+
+double DedupPageStore::DedupFactor() const {
+  if (refcounts_.empty()) {
+    return 1.0;
+  }
+  return static_cast<double>(total_refs_) / static_cast<double>(refcounts_.size());
+}
+
+}  // namespace oasis

@@ -1,0 +1,52 @@
+// Content-addressed page deduplication.
+//
+// §3 assumption 1 notes that memory sharing techniques — ballooning and
+// de-duplication — let hypervisors over-commit memory by about 1.5x. The
+// memory server benefits the same way: pages with identical contents (zero
+// pages above all) are stored once and reference-counted. This store works
+// on real page bytes via a 64-bit FNV-1a content hash.
+
+#ifndef OASIS_SRC_MEM_DEDUP_H_
+#define OASIS_SRC_MEM_DEDUP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/mem/page_content.h"
+
+namespace oasis {
+
+// FNV-1a over arbitrary bytes; the content address of a page.
+uint64_t HashPage(const PageBytes& page);
+
+class DedupPageStore {
+ public:
+  // Adds one reference to the page's content; stores it if new.
+  // Returns the content hash.
+  uint64_t Insert(const PageBytes& page);
+
+  // Drops one reference; frees the content when the count hits zero.
+  // Returns false if the hash is unknown.
+  bool Remove(uint64_t content_hash);
+
+  bool Contains(uint64_t content_hash) const;
+
+  // Distinct page contents currently stored.
+  uint64_t unique_pages() const { return static_cast<uint64_t>(refcounts_.size()); }
+  // Total references (what a dedup-less store would hold).
+  uint64_t total_references() const { return total_refs_; }
+
+  uint64_t StoredBytes() const { return unique_pages() * kPageSize; }
+  uint64_t LogicalBytes() const { return total_refs_ * kPageSize; }
+
+  // LogicalBytes / StoredBytes — 1.0 means nothing deduplicated.
+  double DedupFactor() const;
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> refcounts_;
+  uint64_t total_refs_ = 0;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_MEM_DEDUP_H_

@@ -1,0 +1,127 @@
+#include "src/mem/memory_image.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "src/mem/compression.h"
+
+namespace oasis {
+
+CompressedSizeModel::CompressedSizeModel(uint64_t seed, int samples_per_class) {
+  // Sample real pages of each class and average their LzCompress sizes.
+  PageClassMix all;
+  PageContentGenerator gen(seed, all);
+  std::array<uint64_t, 4> totals{};
+  std::array<uint64_t, 4> counts{};
+  uint64_t page = 0;
+  while (true) {
+    bool done = true;
+    for (size_t c = 0; c < 4; ++c) {
+      if (counts[c] < static_cast<uint64_t>(samples_per_class)) {
+        done = false;
+      }
+    }
+    if (done) {
+      break;
+    }
+    PageClass cls = gen.ClassOf(page);
+    size_t ci = static_cast<size_t>(cls);
+    if (counts[ci] < static_cast<uint64_t>(samples_per_class)) {
+      PageBytes bytes = gen.Generate(page, /*version=*/static_cast<uint32_t>(counts[ci]));
+      totals[ci] += LzCompress(bytes).size();
+      ++counts[ci];
+    }
+    ++page;
+  }
+  for (size_t c = 0; c < 4; ++c) {
+    mean_size_[c] = counts[c] ? totals[c] / counts[c] : kPageSize;
+  }
+}
+
+const CompressedSizeModel& CompressedSizeModel::Default() {
+  static const CompressedSizeModel model(0xC0FFEE, /*samples_per_class=*/64);
+  return model;
+}
+
+uint64_t CompressedSizeModel::MeanCompressedPageSize(PageClass c) const {
+  return mean_size_[static_cast<size_t>(c)];
+}
+
+uint64_t CompressedSizeModel::ExpectedCompressedBytes(uint64_t pages,
+                                                      const PageClassMix& mix) const {
+  double mean = mix.zero * static_cast<double>(mean_size_[0]) +
+                mix.text * static_cast<double>(mean_size_[1]) +
+                mix.code * static_cast<double>(mean_size_[2]) +
+                mix.random * static_cast<double>(mean_size_[3]);
+  return static_cast<uint64_t>(static_cast<double>(pages) * mean);
+}
+
+MemoryImage::MemoryImage(uint64_t total_bytes, uint64_t vm_seed)
+    : total_pages_(total_bytes / kPageSize),
+      content_(vm_seed),
+      touched_(total_pages_),
+      dirty_(total_pages_) {
+  assert(total_pages_ > 0);
+}
+
+uint64_t MemoryImage::Permute(uint64_t i) const {
+  // Affine walk with a stride coprime to total_pages_ gives a deterministic
+  // full-cycle visiting order that scatters touches across the image.
+  uint64_t stride = (total_pages_ * 2 / 3) | 1;
+  while (std::gcd(stride, total_pages_) != 1) {
+    stride += 2;
+  }
+  return (i * stride + 17) % total_pages_;
+}
+
+uint64_t MemoryImage::TouchNewPages(uint64_t count) {
+  uint64_t touched = 0;
+  while (touched < count && touch_cursor_ < total_pages_) {
+    uint64_t page = Permute(touch_cursor_++);
+    if (!touched_.Get(page)) {
+      touched_.Set(page);
+      dirty_.Set(page);
+      ++touched;
+    }
+  }
+  return touched;
+}
+
+uint64_t MemoryImage::DirtyTouchedPages(uint64_t count) {
+  uint64_t n_touched = touched_.Count();
+  if (n_touched == 0) {
+    return 0;
+  }
+  count = std::min(count, n_touched);
+  uint64_t dirtied = 0;
+  uint64_t scanned = 0;
+  // Walk the permutation from the cursor, dirtying touched pages only.
+  while (dirtied < count && scanned < total_pages_) {
+    uint64_t page = Permute(dirty_cursor_);
+    dirty_cursor_ = (dirty_cursor_ + 1) % total_pages_;
+    ++scanned;
+    if (touched_.Get(page) && !dirty_.Get(page)) {
+      dirty_.Set(page);
+      ++dirtied;
+    }
+  }
+  return dirtied;
+}
+
+uint64_t MemoryImage::BeginUploadEpoch() {
+  uint64_t n = dirty_.Count();
+  dirty_.ClearAll();
+  return n;
+}
+
+uint64_t MemoryImage::CompressedTouchedBytes() const {
+  return CompressedBytesFor(touched_pages());
+}
+
+uint64_t MemoryImage::CompressedBytesFor(uint64_t pages) const {
+  // Touched pages are never zero-class by construction of the workloads, but
+  // the generator still classifies some as zero; treat those as minimal.
+  return CompressedSizeModel::Default().ExpectedCompressedBytes(pages, mix_);
+}
+
+}  // namespace oasis

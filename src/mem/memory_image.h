@@ -1,0 +1,90 @@
+// Page-granular VM memory state.
+//
+// A MemoryImage tracks, per 4 KiB page, whether the page was ever written
+// ("touched" — untouched pages are zero pages and upload as nothing) and
+// whether it was dirtied since the last upload epoch (the prototype's
+// differential-upload optimization, §4.3). Pages are touched in a
+// deterministic pseudo-random order so that two images primed with the same
+// workload agree byte-for-byte.
+//
+// Compressed sizes come from a CompressedSizeModel measured by running the
+// real LZ compressor over sampled synthetic pages of each content class, so
+// upload byte counts are grounded in actual compression behaviour rather
+// than an assumed constant ratio.
+
+#ifndef OASIS_SRC_MEM_MEMORY_IMAGE_H_
+#define OASIS_SRC_MEM_MEMORY_IMAGE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/mem/bitmap.h"
+#include "src/mem/page_content.h"
+
+namespace oasis {
+
+// Mean compressed page size per content class, measured with LzCompress.
+class CompressedSizeModel {
+ public:
+  CompressedSizeModel(uint64_t seed, int samples_per_class);
+
+  // Model measured once over the default page mix; cheap to share.
+  static const CompressedSizeModel& Default();
+
+  uint64_t MeanCompressedPageSize(PageClass c) const;
+
+  // Expected compressed bytes for `pages` pages whose classes follow `mix`.
+  uint64_t ExpectedCompressedBytes(uint64_t pages, const PageClassMix& mix) const;
+
+ private:
+  std::array<uint64_t, 4> mean_size_{};
+};
+
+class MemoryImage {
+ public:
+  MemoryImage(uint64_t total_bytes, uint64_t vm_seed);
+
+  uint64_t total_pages() const { return total_pages_; }
+  uint64_t total_bytes() const { return total_pages_ * kPageSize; }
+  uint64_t touched_pages() const { return touched_.Count(); }
+  uint64_t touched_bytes() const { return touched_pages() * kPageSize; }
+  uint64_t dirty_pages() const { return dirty_.Count(); }
+  uint64_t dirty_bytes() const { return dirty_pages() * kPageSize; }
+
+  // Writes `count` not-yet-touched pages (clamped to the remaining pool);
+  // they become touched and dirty. Returns pages actually touched.
+  uint64_t TouchNewPages(uint64_t count);
+  uint64_t TouchNewBytes(uint64_t bytes) { return TouchNewPages(bytes / kPageSize) * kPageSize; }
+
+  // Re-writes `count` already-touched pages (marks them dirty). Returns
+  // pages actually dirtied (bounded by the touched count).
+  uint64_t DirtyTouchedPages(uint64_t count);
+
+  // Snapshot-and-clear of the dirty set: the pages a differential upload
+  // must push. Returns the number of pages that were dirty.
+  uint64_t BeginUploadEpoch();
+
+  // Compressed size of all touched pages (a full upload).
+  uint64_t CompressedTouchedBytes() const;
+  // Compressed size of `pages` pages drawn from this image's touched mix.
+  uint64_t CompressedBytesFor(uint64_t pages) const;
+
+  const PageContentGenerator& content() const { return content_; }
+  const PageClassMix& mix() const { return mix_; }
+
+ private:
+  uint64_t Permute(uint64_t i) const;
+
+  uint64_t total_pages_;
+  PageClassMix mix_;
+  PageContentGenerator content_;
+  Bitmap touched_;
+  Bitmap dirty_;
+  uint64_t touch_cursor_ = 0;  // next index in permutation order to touch
+  uint64_t dirty_cursor_ = 0;  // cycles over touched pages for re-dirtying
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_MEM_MEMORY_IMAGE_H_

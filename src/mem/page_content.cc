@@ -1,0 +1,102 @@
+#include "src/mem/page_content.h"
+
+#include <cstring>
+
+#include "src/common/rng.h"
+
+namespace oasis {
+namespace {
+
+// Word pool for text-like pages; repetition is what makes text compress.
+constexpr const char* kWords[] = {
+    "the",     "config",  "memory",  "server",  "page",    "virtual", "machine",
+    "cluster", "energy",  "sleep",   "request", "consolidation",      "host",
+    "idle",    "active",  "power",   "network", "desktop", "state",   "cache",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+}  // namespace
+
+const char* PageClassName(PageClass c) {
+  switch (c) {
+    case PageClass::kZero:
+      return "zero";
+    case PageClass::kText:
+      return "text";
+    case PageClass::kCode:
+      return "code";
+    case PageClass::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+PageContentGenerator::PageContentGenerator(uint64_t vm_seed, const PageClassMix& mix)
+    : vm_seed_(vm_seed), mix_(mix) {}
+
+PageClass PageContentGenerator::ClassOf(uint64_t page_number) const {
+  Rng rng(vm_seed_ ^ (page_number * 0x9E3779B97F4A7C15ull));
+  double u = rng.NextDouble();
+  if (u < mix_.zero) {
+    return PageClass::kZero;
+  }
+  u -= mix_.zero;
+  if (u < mix_.text) {
+    return PageClass::kText;
+  }
+  u -= mix_.text;
+  if (u < mix_.code) {
+    return PageClass::kCode;
+  }
+  return PageClass::kRandom;
+}
+
+PageBytes PageContentGenerator::Generate(uint64_t page_number, uint32_t version) const {
+  PageBytes page(kPageSize, 0);
+  PageClass cls = ClassOf(page_number);
+  if (cls == PageClass::kZero) {
+    return page;
+  }
+  Rng rng(vm_seed_ ^ (page_number * 0xD1B54A32D192ED03ull) ^
+          (uint64_t{version} << 48));
+  switch (cls) {
+    case PageClass::kZero:
+      break;
+    case PageClass::kText: {
+      size_t pos = 0;
+      while (pos < kPageSize) {
+        const char* w = kWords[rng.NextBelow(kNumWords)];
+        size_t len = std::strlen(w);
+        size_t n = std::min(len, kPageSize - pos);
+        std::memcpy(page.data() + pos, w, n);
+        pos += n;
+        if (pos < kPageSize) {
+          page[pos++] = ' ';
+        }
+      }
+      break;
+    }
+    case PageClass::kCode: {
+      // Structured binary: runs of repeated small records with varying
+      // fields, like vtables / linked structures — moderately compressible.
+      uint64_t base = rng.NextU64();
+      for (size_t off = 0; off + 16 <= kPageSize; off += 16) {
+        uint64_t rec[2];
+        rec[0] = base + (off / 16) * 64;               // pointer-like, regular stride
+        rec[1] = rng.NextBelow(256);                   // small varying field
+        std::memcpy(page.data() + off, rec, sizeof(rec));
+      }
+      break;
+    }
+    case PageClass::kRandom: {
+      for (size_t off = 0; off + 8 <= kPageSize; off += 8) {
+        uint64_t v = rng.NextU64();
+        std::memcpy(page.data() + off, &v, sizeof(v));
+      }
+      break;
+    }
+  }
+  return page;
+}
+
+}  // namespace oasis

@@ -1,0 +1,59 @@
+// Deterministic synthetic page contents.
+//
+// The prototype compresses every page with LZO before writing it to the
+// memory server (§4.3), so upload volume depends on what pages actually
+// contain. We synthesize page contents from a realistic mix of page classes
+// (zero pages, text/code-like pages, structured binary, high-entropy data),
+// deterministically derived from (vm_seed, page_number) so the "same" page
+// always has the same bytes across the simulation.
+
+#ifndef OASIS_SRC_MEM_PAGE_CONTENT_H_
+#define OASIS_SRC_MEM_PAGE_CONTENT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace oasis {
+
+enum class PageClass {
+  kZero,        // never-written or madvise'd-free pages: all zeros
+  kText,        // ASCII-ish text and markup: highly compressible
+  kCode,        // machine code / structured binary: moderately compressible
+  kRandom,      // encrypted / already-compressed data: incompressible
+};
+
+const char* PageClassName(PageClass c);
+
+struct PageClassMix {
+  double zero = 0.18;
+  double text = 0.34;
+  double code = 0.30;
+  double random = 0.18;
+};
+
+using PageBytes = std::vector<uint8_t>;
+
+class PageContentGenerator {
+ public:
+  PageContentGenerator(uint64_t vm_seed, const PageClassMix& mix);
+  explicit PageContentGenerator(uint64_t vm_seed)
+      : PageContentGenerator(vm_seed, PageClassMix{}) {}
+
+  // The class of a page, a pure function of (vm_seed, page_number).
+  PageClass ClassOf(uint64_t page_number) const;
+
+  // 4 KiB of deterministic content for the page. `version` distinguishes
+  // successive dirtyings of the same page.
+  PageBytes Generate(uint64_t page_number, uint32_t version = 0) const;
+
+ private:
+  uint64_t vm_seed_;
+  PageClassMix mix_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_MEM_PAGE_CONTENT_H_

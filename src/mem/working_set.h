@@ -1,0 +1,50 @@
+// Idle working-set sampling.
+//
+// §5.1: "a partial VM's memory consumption is randomly sampled from the
+// distribution collected from [Jettison], which shows that the mean working
+// set of idle desktop VMs with 4 GiB RAM was only 165.63 ± 91.38 MiB".
+// We model that distribution as a truncated normal with exactly those
+// moments, clamped to a sane floor (a partial VM always needs its page
+// tables and kernel-resident set) and to the VM's allocation.
+
+#ifndef OASIS_SRC_MEM_WORKING_SET_H_
+#define OASIS_SRC_MEM_WORKING_SET_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace oasis {
+
+struct WorkingSetDistribution {
+  double mean_mib = 165.63;
+  double stddev_mib = 91.38;
+  double floor_mib = 16.0;
+  // Ceiling defaults to the VM allocation at sample time.
+};
+
+class WorkingSetSampler {
+ public:
+  WorkingSetSampler(const WorkingSetDistribution& dist, uint64_t seed);
+  explicit WorkingSetSampler(uint64_t seed)
+      : WorkingSetSampler(WorkingSetDistribution{}, seed) {}
+
+  // One idle working-set size in bytes for a VM with `allocation_bytes` of
+  // RAM, rounded up to whole pages.
+  uint64_t Sample(uint64_t allocation_bytes);
+
+  const WorkingSetDistribution& distribution() const { return dist_; }
+
+ private:
+  WorkingSetDistribution dist_;
+  // Underlying (pre-truncation) normal parameters, solved so the
+  // floor-truncated distribution reproduces the configured moments.
+  double mu_;
+  double sigma_;
+  Rng rng_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_MEM_WORKING_SET_H_

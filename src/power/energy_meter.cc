@@ -1,0 +1,40 @@
+#include "src/power/energy_meter.h"
+
+#include <cassert>
+
+namespace oasis {
+
+void EnergyMeter::SetDraw(SimTime now, Watts draw) {
+  Advance(now);
+  current_draw_ = draw;
+}
+
+void EnergyMeter::Advance(SimTime now) {
+  assert(now >= last_change_ && "meter time went backwards");
+  joules_ += EnergyOver(current_draw_, now - last_change_);
+  last_change_ = now;
+}
+
+void StateTimeLedger::Transition(SimTime now, HostPowerState next) {
+  Advance(now);
+  state_ = next;
+}
+
+void StateTimeLedger::Advance(SimTime now) {
+  assert(now >= last_change_ && "ledger time went backwards");
+  time_in_[static_cast<size_t>(state_)] += now - last_change_;
+  last_change_ = now;
+}
+
+SimTime StateTimeLedger::TimeIn(HostPowerState s) const {
+  return time_in_[static_cast<size_t>(s)];
+}
+
+double StateTimeLedger::SleepFraction(SimTime horizon) const {
+  if (horizon <= SimTime::Zero()) {
+    return 0.0;
+  }
+  return TimeIn(HostPowerState::kSleeping) / horizon;
+}
+
+}  // namespace oasis

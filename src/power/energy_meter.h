@@ -1,0 +1,64 @@
+// Piecewise-constant energy integration.
+//
+// Every powered component (host, memory server) owns an EnergyMeter; state
+// machines call SetDraw whenever their power changes, and the meter
+// accumulates joules exactly over the piecewise-constant timeline. A
+// per-state time ledger supports the sleep-fraction and powered-host
+// reporting in §5.
+
+#ifndef OASIS_SRC_POWER_ENERGY_METER_H_
+#define OASIS_SRC_POWER_ENERGY_METER_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/power/power_model.h"
+
+namespace oasis {
+
+class EnergyMeter {
+ public:
+  // Starts metering at `start` with the given draw.
+  EnergyMeter(SimTime start, Watts initial_draw)
+      : last_change_(start), current_draw_(initial_draw) {}
+  EnergyMeter() : EnergyMeter(SimTime::Zero(), 0.0) {}
+
+  // Changes the draw at time `now` (now must be monotone).
+  void SetDraw(SimTime now, Watts draw);
+
+  // Accrues energy up to `now` without changing the draw.
+  void Advance(SimTime now);
+
+  Joules total_joules() const { return joules_; }
+  Watts current_draw() const { return current_draw_; }
+
+ private:
+  SimTime last_change_;
+  Watts current_draw_;
+  Joules joules_ = 0.0;
+};
+
+// Tracks how long a host spends in each power state.
+class StateTimeLedger {
+ public:
+  StateTimeLedger(SimTime start, HostPowerState initial)
+      : last_change_(start), state_(initial) {}
+  StateTimeLedger() : StateTimeLedger(SimTime::Zero(), HostPowerState::kPowered) {}
+
+  void Transition(SimTime now, HostPowerState next);
+  void Advance(SimTime now);
+
+  SimTime TimeIn(HostPowerState s) const;
+  HostPowerState state() const { return state_; }
+  double SleepFraction(SimTime horizon) const;
+
+ private:
+  SimTime last_change_;
+  HostPowerState state_;
+  std::array<SimTime, 4> time_in_{};
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_POWER_ENERGY_METER_H_

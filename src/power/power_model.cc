@@ -1,0 +1,35 @@
+#include "src/power/power_model.h"
+
+#include <algorithm>
+
+namespace oasis {
+
+const char* HostPowerStateName(HostPowerState s) {
+  switch (s) {
+    case HostPowerState::kPowered:
+      return "powered";
+    case HostPowerState::kSuspending:
+      return "suspending";
+    case HostPowerState::kSleeping:
+      return "sleeping";
+    case HostPowerState::kResuming:
+      return "resuming";
+  }
+  return "?";
+}
+
+Watts HostPowerProfile::Draw(HostPowerState state, int resident_vms) const {
+  switch (state) {
+    case HostPowerState::kPowered:
+      return idle_watts + PerVmWatts() * std::min(resident_vms, 20);
+    case HostPowerState::kSuspending:
+      return suspend_watts;
+    case HostPowerState::kSleeping:
+      return sleep_watts;
+    case HostPowerState::kResuming:
+      return resume_watts;
+  }
+  return idle_watts;
+}
+
+}  // namespace oasis

@@ -1,0 +1,39 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace oasis {
+
+EventId EventQueue::Schedule(SimTime when, EventFn fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  live_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) { return live_.erase(id) > 0; }
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  SkipCancelled();
+  return heap_.empty() ? SimTime::Max() : heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::Pop() {
+  SkipCancelled();
+  assert(!heap_.empty() && "Pop() on empty EventQueue");
+  Entry top = heap_.top();
+  heap_.pop();
+  auto it = live_.find(top.id);
+  Popped out{top.time, top.id, std::move(it->second)};
+  live_.erase(it);
+  return out;
+}
+
+}  // namespace oasis

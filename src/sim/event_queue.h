@@ -1,0 +1,72 @@
+// Cancellable discrete-event queue.
+//
+// Events are closures scheduled at absolute simulated times. Cancellation is
+// lazy: a cancelled event stays in the heap but is skipped on pop, which
+// keeps both schedule and cancel cheap.
+
+#ifndef OASIS_SRC_SIM_EVENT_QUEUE_H_
+#define OASIS_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace oasis {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `when`. Ties break in schedule order.
+  EventId Schedule(SimTime when, EventFn fn);
+
+  // Cancels a pending event; returns false if it already ran or was
+  // cancelled.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_.empty(); }
+  size_t size() const { return live_.size(); }
+
+  // Time of the earliest pending event; SimTime::Max() when empty.
+  SimTime NextTime() const;
+
+  // Pops and returns the earliest pending event. Must not be empty.
+  struct Popped {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Popped Pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) {
+        return time > o.time;
+      }
+      return seq > o.seq;
+    }
+  };
+
+  // Drops heap entries whose event has been cancelled.
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, EventFn> live_;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,62 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace oasis {
+
+EventId Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
+  assert(delay >= SimTime::Zero() && "negative delay");
+  return queue_.Schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, EventFn fn) {
+  assert(when >= now_ && "scheduling into the past");
+  return queue_.Schedule(when, std::move(fn));
+}
+
+Simulator::PeriodicHandle Simulator::SchedulePeriodic(SimTime first_delay, SimTime period,
+                                                      std::function<void(SimTime)> fn) {
+  assert(period > SimTime::Zero());
+  auto alive = std::make_shared<bool>(true);
+  // The re-arming closure owns the user callback and the liveness flag.
+  auto rearm = std::make_shared<std::function<void()>>();
+  *rearm = [this, alive, period, fn = std::move(fn), rearm]() {
+    if (!*alive) {
+      return;
+    }
+    fn(now_);
+    if (*alive) {
+      ScheduleAfter(period, *rearm);
+    }
+  };
+  ScheduleAfter(first_delay, *rearm);
+  return PeriodicHandle{std::move(alive)};
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void Simulator::RunToCompletion() {
+  while (Step()) {
+  }
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  EventQueue::Popped ev = queue_.Pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+}  // namespace oasis

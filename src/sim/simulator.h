@@ -1,0 +1,68 @@
+// The simulation clock and run loop.
+//
+// A Simulator owns an EventQueue and a monotone clock. Components schedule
+// closures relative to `now()`; Run() drains events until a deadline or the
+// queue empties. Periodic tasks re-arm themselves through SchedulePeriodic.
+
+#ifndef OASIS_SRC_SIM_SIMULATOR_H_
+#define OASIS_SRC_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/units.h"
+#include "src/sim/event_queue.h"
+
+namespace oasis {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` after `delay` from now (delay must be >= 0).
+  EventId ScheduleAfter(SimTime delay, EventFn fn);
+
+  // Schedules `fn` at the absolute time `when` (must be >= now).
+  EventId ScheduleAt(SimTime when, EventFn fn);
+
+  // Runs `fn` every `period`, starting at now + first_delay, until the
+  // returned handle is cancelled or the simulation stops. `fn` receives the
+  // firing time.
+  struct PeriodicHandle {
+    std::shared_ptr<bool> alive;
+    void Cancel() {
+      if (alive) {
+        *alive = false;
+      }
+    }
+  };
+  PeriodicHandle SchedulePeriodic(SimTime first_delay, SimTime period,
+                                  std::function<void(SimTime)> fn);
+
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs until the queue empties or the clock would pass `deadline`;
+  // the clock finishes at min(deadline, last-event time). Events scheduled
+  // exactly at the deadline still run.
+  void RunUntil(SimTime deadline);
+
+  // Runs until the queue is empty.
+  void RunToCompletion();
+
+  // Executes at most one event; returns false when the queue is empty.
+  bool Step();
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::Zero();
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_SIM_SIMULATOR_H_

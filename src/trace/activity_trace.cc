@@ -1,0 +1,47 @@
+#include "src/trace/activity_trace.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace oasis {
+
+const char* DayKindName(DayKind kind) {
+  return kind == DayKind::kWeekday ? "weekday" : "weekend";
+}
+
+UserDay::UserDay(std::vector<bool> bits) : active_(std::move(bits)) {
+  assert(active_.size() == static_cast<size_t>(kIntervalsPerDay));
+}
+
+int UserDay::ActiveIntervals() const {
+  return static_cast<int>(std::count(active_.begin(), active_.end(), true));
+}
+
+double UserDay::ActiveFraction() const {
+  return static_cast<double>(ActiveIntervals()) / kIntervalsPerDay;
+}
+
+int UserDay::LongestIdleRun() const {
+  int best = 0;
+  int run = 0;
+  for (bool a : active_) {
+    if (a) {
+      run = 0;
+    } else {
+      ++run;
+      best = std::max(best, run);
+    }
+  }
+  return best;
+}
+
+int IntervalAt(double hour_of_day) {
+  int idx = static_cast<int>(hour_of_day * 3600.0 / kTraceIntervalSeconds);
+  return std::clamp(idx, 0, kIntervalsPerDay - 1);
+}
+
+double HourOfInterval(int interval) {
+  return (static_cast<double>(interval) + 0.5) * kTraceIntervalSeconds / 3600.0;
+}
+
+}  // namespace oasis

@@ -1,0 +1,67 @@
+// User activity traces.
+//
+// The paper drives its cluster simulation with keyboard/mouse activity traces
+// of 22 desktop users sampled every 5 seconds and quantized to 5-minute
+// intervals: an interval is "active" if it saw any input (§5.1). That trace
+// is not public, so Oasis ships a calibrated synthetic generator
+// (trace_generator.h) and this module defines the trace representation both
+// share: one bit per 5-minute interval per user-day.
+
+#ifndef OASIS_SRC_TRACE_ACTIVITY_TRACE_H_
+#define OASIS_SRC_TRACE_ACTIVITY_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace oasis {
+
+inline constexpr int kTraceIntervalSeconds = 300;  // 5 minutes
+inline constexpr int kIntervalsPerDay = 24 * 3600 / kTraceIntervalSeconds;  // 288
+
+inline constexpr SimTime TraceIntervalLength() {
+  return SimTime::Seconds(kTraceIntervalSeconds);
+}
+
+enum class DayKind { kWeekday, kWeekend };
+
+const char* DayKindName(DayKind kind);
+
+// One user's activity over one day: active_[i] is true iff the user produced
+// keyboard/mouse input during 5-minute interval i.
+class UserDay {
+ public:
+  UserDay() : active_(kIntervalsPerDay, false) {}
+  explicit UserDay(std::vector<bool> bits);
+
+  bool IsActive(int interval) const { return active_[static_cast<size_t>(interval)]; }
+  void SetActive(int interval, bool active) {
+    active_[static_cast<size_t>(interval)] = active;
+  }
+
+  int ActiveIntervals() const;
+  double ActiveFraction() const;
+
+  // Longest run of consecutive idle intervals.
+  int LongestIdleRun() const;
+
+  const std::vector<bool>& bits() const { return active_; }
+
+ private:
+  std::vector<bool> active_;
+};
+
+// A set of user-days that drives one simulated day: element u is the
+// activity of VM u's user.
+using TraceSet = std::vector<UserDay>;
+
+// Interval index for a time-of-day (e.g. 14:00 -> 168).
+int IntervalAt(double hour_of_day);
+
+// Midpoint hour of an interval index.
+double HourOfInterval(int interval);
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_TRACE_ACTIVITY_TRACE_H_

@@ -1,0 +1,152 @@
+#include "src/trace/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oasis {
+namespace {
+
+constexpr double kIntervalMinutes = kTraceIntervalSeconds / 60.0;
+
+double ClampHour(double h, double lo, double hi) { return std::clamp(h, lo, hi); }
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(const TraceGeneratorConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+UserDay TraceGenerator::GenerateUserDay(DayKind kind) {
+  return kind == DayKind::kWeekday ? GenerateWeekday() : GenerateWeekend();
+}
+
+TraceSet TraceGenerator::GenerateTraceSet(int n_users, DayKind kind) {
+  TraceSet set;
+  set.reserve(static_cast<size_t>(n_users));
+  for (int i = 0; i < n_users; ++i) {
+    set.push_back(GenerateUserDay(kind));
+  }
+  return set;
+}
+
+void TraceGenerator::ApplyNightSessions(UserDay& day, int from, int to) {
+  if (to <= from) {
+    return;
+  }
+  // Poisson session count: the expected count scales with how much of the
+  // day the window covers (off-hours windows cover ~2/3 of a weekday, so the
+  // 1.5 factor makes the per-day expectation come out at the configured rate).
+  double window_fraction = static_cast<double>(to - from) / kIntervalsPerDay;
+  double expected = config_.night_sessions_per_user_day * window_fraction * 1.5;
+  int sessions = 0;
+  double acc = rng_.NextExponential(1.0);
+  while (acc < expected) {
+    ++sessions;
+    acc += rng_.NextExponential(1.0);
+  }
+  for (int s = 0; s < sessions; ++s) {
+    int start = from + static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(to - from)));
+    double len_minutes =
+        std::max(kIntervalMinutes, rng_.NextExponential(config_.night_session_mean_minutes));
+    int len = static_cast<int>(std::ceil(len_minutes / kIntervalMinutes));
+    for (int i = start; i < std::min(start + len, kIntervalsPerDay); ++i) {
+      day.SetActive(i, true);
+    }
+  }
+}
+
+void TraceGenerator::ApplyBurstGapProcess(UserDay& day, int from, int to,
+                                          double envelope_peak_hour,
+                                          double envelope_strength) {
+  // Alternating renewal process: exponential active bursts, exponential idle
+  // gaps whose mean shrinks near the envelope peak (more bursts mid-afternoon).
+  bool active = true;  // sessions begin with input (the user just sat down)
+  double remaining_minutes = std::max(kIntervalMinutes,
+                                      rng_.NextExponential(config_.burst_mean_minutes));
+  for (int i = std::max(0, from); i < std::min(kIntervalsPerDay, to); ++i) {
+    if (active) {
+      day.SetActive(i, true);
+    }
+    remaining_minutes -= kIntervalMinutes;
+    if (remaining_minutes <= 0.0) {
+      if (active) {
+        double hour = HourOfInterval(i);
+        double envelope =
+            1.0 + envelope_strength *
+                      std::exp(-std::pow(hour - envelope_peak_hour, 2.0) / (2.0 * 3.0 * 3.0));
+        double gap_mean = config_.gap_mean_minutes / envelope;
+        active = false;
+        remaining_minutes = std::max(kIntervalMinutes, rng_.NextExponential(gap_mean));
+      } else {
+        active = true;
+        remaining_minutes =
+            std::max(kIntervalMinutes, rng_.NextExponential(config_.burst_mean_minutes));
+      }
+    }
+  }
+}
+
+UserDay TraceGenerator::GenerateWeekday() {
+  UserDay day;
+  if (!rng_.NextBool(config_.weekday_attendance)) {
+    // Absent: maybe one brief remote check.
+    if (rng_.NextBool(config_.absent_remote_check_probability)) {
+      int start = static_cast<int>(rng_.NextBelow(kIntervalsPerDay - 3));
+      int len = 1 + static_cast<int>(rng_.NextBelow(3));
+      for (int i = start; i < start + len; ++i) {
+        day.SetActive(i, true);
+      }
+    }
+    ApplyNightSessions(day, 0, kIntervalsPerDay);
+    return day;
+  }
+
+  double arrival = ClampHour(
+      rng_.NextGaussian(config_.arrival_mean_hour, config_.arrival_stddev_hours), 6.0, 12.0);
+  double departure = ClampHour(
+      rng_.NextGaussian(config_.departure_mean_hour, config_.departure_stddev_hours),
+      arrival + 2.0, 23.0);
+  int arr_i = IntervalAt(arrival);
+  int dep_i = IntervalAt(departure);
+
+  ApplyBurstGapProcess(day, arr_i, dep_i, /*envelope_peak_hour=*/14.0,
+                       /*envelope_strength=*/1.0);
+
+  // Lunch dip: thin activity down to the lunch probability.
+  double lunch_start = rng_.NextGaussian(config_.lunch_start_mean_hour, 0.6);
+  double lunch_len = std::max(0.0, rng_.NextGaussian(config_.lunch_duration_mean_hours, 0.3));
+  int ls_i = IntervalAt(lunch_start);
+  int le_i = IntervalAt(lunch_start + lunch_len);
+  for (int i = std::max(arr_i, ls_i); i <= std::min(dep_i, le_i) && i < kIntervalsPerDay;
+       ++i) {
+    if (day.IsActive(i) && !rng_.NextBool(config_.lunch_active_probability)) {
+      day.SetActive(i, false);
+    }
+  }
+
+  // Optional evening session (e.g. 20:00-22:00, sparser than daytime).
+  if (rng_.NextBool(config_.evening_session_probability)) {
+    double ev_start = rng_.NextRange(19.5, 21.5);
+    double ev_len = rng_.NextRange(0.5, 1.5);
+    ApplyBurstGapProcess(day, IntervalAt(ev_start), IntervalAt(ev_start + ev_len),
+                         /*envelope_peak_hour=*/20.5, /*envelope_strength=*/0.0);
+  }
+
+  // Rare contiguous night sessions before arrival / after departure.
+  ApplyNightSessions(day, 0, arr_i);
+  ApplyNightSessions(day, dep_i, kIntervalsPerDay);
+  return day;
+}
+
+UserDay TraceGenerator::GenerateWeekend() {
+  UserDay day;
+  if (rng_.NextBool(config_.weekend_attendance)) {
+    double start = rng_.NextRange(9.0, 16.0);
+    double len = std::max(0.5, rng_.NextExponential(config_.weekend_session_mean_hours));
+    ApplyBurstGapProcess(day, IntervalAt(start), IntervalAt(start + len),
+                         /*envelope_peak_hour=*/13.0, /*envelope_strength=*/0.2);
+  }
+  ApplyNightSessions(day, 0, kIntervalsPerDay);
+  return day;
+}
+
+}  // namespace oasis

@@ -1,0 +1,84 @@
+#include "src/trace/trace_stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace oasis {
+
+std::vector<int> ActiveCountSeries(const TraceSet& set) {
+  std::vector<int> counts(kIntervalsPerDay, 0);
+  for (const UserDay& day : set) {
+    for (int i = 0; i < kIntervalsPerDay; ++i) {
+      if (day.IsActive(i)) {
+        ++counts[static_cast<size_t>(i)];
+      }
+    }
+  }
+  return counts;
+}
+
+double PeakActiveFraction(const TraceSet& set) {
+  if (set.empty()) {
+    return 0.0;
+  }
+  std::vector<int> counts = ActiveCountSeries(set);
+  int peak = *std::max_element(counts.begin(), counts.end());
+  return static_cast<double>(peak) / static_cast<double>(set.size());
+}
+
+int PeakInterval(const TraceSet& set) {
+  std::vector<int> counts = ActiveCountSeries(set);
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+int TroughInterval(const TraceSet& set) {
+  std::vector<int> counts = ActiveCountSeries(set);
+  return static_cast<int>(std::min_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+double MeanActiveFraction(const TraceSet& set) {
+  if (set.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const UserDay& day : set) {
+    total += day.ActiveFraction();
+  }
+  return total / static_cast<double>(set.size());
+}
+
+double AllIdleFraction(const TraceSet& set, size_t first, size_t count) {
+  assert(first + count <= set.size());
+  if (count == 0) {
+    return 1.0;
+  }
+  int all_idle = 0;
+  for (int i = 0; i < kIntervalsPerDay; ++i) {
+    bool any_active = false;
+    for (size_t u = first; u < first + count; ++u) {
+      if (set[u].IsActive(i)) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) {
+      ++all_idle;
+    }
+  }
+  return static_cast<double>(all_idle) / kIntervalsPerDay;
+}
+
+double MeanAllIdleFraction(const TraceSet& set, size_t group_size) {
+  assert(group_size > 0);
+  size_t groups = set.size() / group_size;
+  if (groups == 0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (size_t g = 0; g < groups; ++g) {
+    total += AllIdleFraction(set, g * group_size, group_size);
+  }
+  return total / static_cast<double>(groups);
+}
+
+}  // namespace oasis

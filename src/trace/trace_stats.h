@@ -1,0 +1,37 @@
+// Aggregate statistics over trace sets — the measurements §5.2 reports about
+// the input workload, used both by tests (to validate the generator's
+// calibration) and by the Fig 7 bench (active-VM timeline).
+
+#ifndef OASIS_SRC_TRACE_TRACE_STATS_H_
+#define OASIS_SRC_TRACE_TRACE_STATS_H_
+
+#include <vector>
+
+#include "src/trace/activity_trace.h"
+
+namespace oasis {
+
+// Number of simultaneously active users at each interval.
+std::vector<int> ActiveCountSeries(const TraceSet& set);
+
+// Peak of ActiveCountSeries as a fraction of the user count.
+double PeakActiveFraction(const TraceSet& set);
+
+// Interval index at which the active count peaks / bottoms out.
+int PeakInterval(const TraceSet& set);
+int TroughInterval(const TraceSet& set);
+
+// Mean over intervals of the fraction of users active.
+double MeanActiveFraction(const TraceSet& set);
+
+// Fraction of intervals during which *all* users in [first, first+count) are
+// simultaneously idle — the quantity that bounds OnlyPartial's savings when
+// those users' VMs share one home host (§5.3 reports ~13% for 30 VMs).
+double AllIdleFraction(const TraceSet& set, size_t first, size_t count);
+
+// Mean of AllIdleFraction over consecutive groups of `group_size` users.
+double MeanAllIdleFraction(const TraceSet& set, size_t group_size);
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_TRACE_TRACE_STATS_H_

@@ -1,0 +1,149 @@
+// Calibration tests for the idle-access processes behind Figures 1 and 2.
+
+#include "src/mem/access_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+
+namespace oasis {
+namespace {
+
+TEST(IdleAccessTest, Figure1UniqueBytesAtOneHour) {
+  // §2: desktop 188.2 MiB, web 37.6 MiB, db 30.6 MiB after one idle hour.
+  IdleAccessGenerator desktop(VmType::kDesktop, 1);
+  IdleAccessGenerator web(VmType::kWebServer, 1);
+  IdleAccessGenerator db(VmType::kDatabase, 1);
+  SimTime hour = SimTime::Hours(1);
+  EXPECT_NEAR(ToMiB(desktop.CumulativeUniqueBytes(hour)), 188.2, 0.5);
+  EXPECT_NEAR(ToMiB(web.CumulativeUniqueBytes(hour)), 37.6, 0.5);
+  EXPECT_NEAR(ToMiB(db.CumulativeUniqueBytes(hour)), 30.6, 0.5);
+}
+
+TEST(IdleAccessTest, UniqueBytesCurveIsMonotoneAndSaturating) {
+  IdleAccessGenerator gen(VmType::kDesktop, 2);
+  uint64_t prev = 0;
+  for (int m = 1; m <= 60; ++m) {
+    uint64_t u = gen.CumulativeUniqueBytes(SimTime::Minutes(m));
+    EXPECT_GE(u, prev);
+    prev = u;
+  }
+  // First 10 minutes cover far more than proportional share (saturation).
+  uint64_t at10 = gen.CumulativeUniqueBytes(SimTime::Minutes(10));
+  uint64_t at60 = gen.CumulativeUniqueBytes(SimTime::Minutes(60));
+  EXPECT_GT(at10 * 6, at60 * 2);
+}
+
+TEST(IdleAccessTest, ZeroTimeZeroBytes) {
+  IdleAccessGenerator gen(VmType::kDatabase, 3);
+  EXPECT_EQ(gen.CumulativeUniqueBytes(SimTime::Zero()), 0u);
+}
+
+TEST(IdleAccessTest, DatabaseGapMeanMatchesPaper) {
+  // §2: mean page-request inter-arrival of 3.9 minutes for one DB VM.
+  IdleAccessGenerator gen(VmType::kDatabase, 4);
+  std::vector<SimTime> bursts = gen.GenerateBurstTimes(SimTime::Hours(100));
+  ASSERT_GT(bursts.size(), 500u);
+  double mean_gap = SimTime::Hours(100).seconds() / static_cast<double>(bursts.size());
+  EXPECT_NEAR(mean_gap / 60.0, 3.9, 0.4);
+}
+
+TEST(IdleAccessTest, TenVmAggregateGapMatchesPaper) {
+  // §2: 5 web + 5 db VMs aggregate to a 5.8 s mean inter-arrival.
+  std::vector<std::vector<SimTime>> streams;
+  for (int i = 0; i < 5; ++i) {
+    IdleAccessGenerator web(VmType::kWebServer, 100 + i);
+    IdleAccessGenerator db(VmType::kDatabase, 200 + i);
+    streams.push_back(web.GenerateBurstTimes(SimTime::Hours(10)));
+    streams.push_back(db.GenerateBurstTimes(SimTime::Hours(10)));
+  }
+  std::vector<SimTime> merged = MergeRequestStreams(streams);
+  double mean_gap = SimTime::Hours(10).seconds() / static_cast<double>(merged.size());
+  EXPECT_NEAR(mean_gap, 5.8, 0.8);
+}
+
+TEST(IdleAccessTest, MergedStreamsAreSorted) {
+  IdleAccessGenerator a(VmType::kWebServer, 5);
+  IdleAccessGenerator b(VmType::kDatabase, 6);
+  auto merged = MergeRequestStreams(
+      {a.GenerateBurstTimes(SimTime::Hours(1)), b.GenerateBurstTimes(SimTime::Hours(1))});
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1], merged[i]);
+  }
+}
+
+TEST(IdleAccessTest, BurstPagesAtLeastOneAndMeanMatches) {
+  IdleAccessGenerator gen(VmType::kWebServer, 7);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t pages = gen.SampleBurstPages();
+    ASSERT_GE(pages, 1u);
+    stats.Add(static_cast<double>(pages));
+  }
+  EXPECT_NEAR(stats.mean(), gen.profile().burst_pages_mean, 0.5);
+}
+
+TEST(SleepOpportunityTest, NoRequestsMeansNearlyFullSleep) {
+  SleepOpportunity s = ComputeSleepOpportunity({}, SimTime::Hours(1), SimTime::Seconds(3.1),
+                                               SimTime::Seconds(2.3), SimTime::Seconds(10));
+  EXPECT_GT(s.sleep_fraction, 0.99);
+  EXPECT_EQ(s.sleep_episodes, 1);
+  EXPECT_EQ(s.requests, 0);
+}
+
+TEST(SleepOpportunityTest, DenseRequestsKillSleep) {
+  // Requests every 5.8 s with ~5.4 s of transition overhead leave nothing.
+  std::vector<SimTime> requests;
+  for (double t = 5.8; t < 3600.0; t += 5.8) {
+    requests.push_back(SimTime::Seconds(t));
+  }
+  SleepOpportunity s =
+      ComputeSleepOpportunity(requests, SimTime::Hours(1), SimTime::Seconds(3.1),
+                              SimTime::Seconds(2.3), SimTime::Seconds(10));
+  EXPECT_LT(s.sleep_fraction, 0.01);
+}
+
+TEST(SleepOpportunityTest, SparseRequestsAllowSleep) {
+  // One request every 3.9 minutes leaves most of the hour for S3.
+  std::vector<SimTime> requests;
+  for (double t = 234.0; t < 3600.0; t += 234.0) {
+    requests.push_back(SimTime::Seconds(t));
+  }
+  SleepOpportunity s =
+      ComputeSleepOpportunity(requests, SimTime::Hours(1), SimTime::Seconds(3.1),
+                              SimTime::Seconds(2.3), SimTime::Seconds(10));
+  EXPECT_GT(s.sleep_fraction, 0.85);
+  EXPECT_EQ(s.requests, static_cast<int>(requests.size()));
+  EXPECT_NEAR(s.mean_gap_seconds, 234.0, 1.0);
+}
+
+TEST(SleepOpportunityTest, SingleVsTenVmContrast) {
+  // The Fig 2 punchline: one idle DB VM leaves big sleep opportunities; ten
+  // co-located VMs erase them.
+  IdleAccessGenerator db(VmType::kDatabase, 11);
+  SleepOpportunity one =
+      ComputeSleepOpportunity(db.GenerateBurstTimes(SimTime::Hours(2)), SimTime::Hours(2),
+                              SimTime::Seconds(3.1), SimTime::Seconds(2.3),
+                              SimTime::Seconds(10));
+  std::vector<std::vector<SimTime>> streams;
+  for (int i = 0; i < 5; ++i) {
+    IdleAccessGenerator web(VmType::kWebServer, 300 + i);
+    IdleAccessGenerator db2(VmType::kDatabase, 400 + i);
+    streams.push_back(web.GenerateBurstTimes(SimTime::Hours(2)));
+    streams.push_back(db2.GenerateBurstTimes(SimTime::Hours(2)));
+  }
+  SleepOpportunity ten = ComputeSleepOpportunity(MergeRequestStreams(streams),
+                                                 SimTime::Hours(2), SimTime::Seconds(3.1),
+                                                 SimTime::Seconds(2.3), SimTime::Seconds(10));
+  EXPECT_GT(one.sleep_fraction, 0.5);
+  EXPECT_LT(ten.sleep_fraction, 0.12);
+}
+
+TEST(VmTypeTest, Names) {
+  EXPECT_STREQ(VmTypeName(VmType::kDesktop), "desktop");
+  EXPECT_STREQ(VmTypeName(VmType::kWebServer), "web");
+  EXPECT_STREQ(VmTypeName(VmType::kDatabase), "database");
+}
+
+}  // namespace
+}  // namespace oasis

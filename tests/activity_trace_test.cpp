@@ -1,0 +1,74 @@
+#include "src/trace/activity_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+TEST(ActivityTraceTest, Constants) {
+  EXPECT_EQ(kTraceIntervalSeconds, 300);
+  EXPECT_EQ(kIntervalsPerDay, 288);
+  EXPECT_EQ(TraceIntervalLength(), SimTime::Minutes(5));
+}
+
+TEST(UserDayTest, StartsIdle) {
+  UserDay day;
+  EXPECT_EQ(day.ActiveIntervals(), 0);
+  EXPECT_DOUBLE_EQ(day.ActiveFraction(), 0.0);
+  EXPECT_EQ(day.LongestIdleRun(), kIntervalsPerDay);
+}
+
+TEST(UserDayTest, SetAndGet) {
+  UserDay day;
+  day.SetActive(10, true);
+  day.SetActive(20, true);
+  EXPECT_TRUE(day.IsActive(10));
+  EXPECT_FALSE(day.IsActive(11));
+  EXPECT_EQ(day.ActiveIntervals(), 2);
+  day.SetActive(10, false);
+  EXPECT_EQ(day.ActiveIntervals(), 1);
+}
+
+TEST(UserDayTest, LongestIdleRun) {
+  UserDay day;
+  day.SetActive(100, true);
+  // Idle runs: [0,99] (100 long) and [101,287] (187 long).
+  EXPECT_EQ(day.LongestIdleRun(), 187);
+  day.SetActive(0, true);
+  day.SetActive(287, true);
+  EXPECT_EQ(day.LongestIdleRun(), 186);
+}
+
+TEST(UserDayTest, ConstructFromBits) {
+  std::vector<bool> bits(kIntervalsPerDay, false);
+  bits[5] = true;
+  UserDay day(bits);
+  EXPECT_TRUE(day.IsActive(5));
+  EXPECT_EQ(day.ActiveIntervals(), 1);
+}
+
+TEST(IntervalMathTest, IntervalAtMapsHours) {
+  EXPECT_EQ(IntervalAt(0.0), 0);
+  EXPECT_EQ(IntervalAt(14.0), 168);
+  EXPECT_EQ(IntervalAt(23.99), 287);
+  EXPECT_EQ(IntervalAt(24.5), 287);  // clamps
+}
+
+TEST(IntervalMathTest, HourOfIntervalIsMidpoint) {
+  EXPECT_NEAR(HourOfInterval(0), 0.0417, 0.001);
+  EXPECT_NEAR(HourOfInterval(168), 14.04, 0.01);
+}
+
+TEST(IntervalMathTest, RoundTrip) {
+  for (int i = 0; i < kIntervalsPerDay; ++i) {
+    EXPECT_EQ(IntervalAt(HourOfInterval(i)), i);
+  }
+}
+
+TEST(DayKindTest, Names) {
+  EXPECT_STREQ(DayKindName(DayKind::kWeekday), "weekday");
+  EXPECT_STREQ(DayKindName(DayKind::kWeekend), "weekend");
+}
+
+}  // namespace
+}  // namespace oasis

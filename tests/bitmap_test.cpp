@@ -1,0 +1,116 @@
+#include "src/mem/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(BitmapTest, StartsClear) {
+  Bitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(b.Get(i));
+  }
+}
+
+TEST(BitmapTest, SetClearGet) {
+  Bitmap b(128);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(127);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(63));
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_TRUE(b.Get(127));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Get(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitmapTest, SetRange) {
+  Bitmap b(200);
+  b.SetRange(50, 100);
+  EXPECT_EQ(b.Count(), 100u);
+  EXPECT_FALSE(b.Get(49));
+  EXPECT_TRUE(b.Get(50));
+  EXPECT_TRUE(b.Get(149));
+  EXPECT_FALSE(b.Get(150));
+}
+
+TEST(BitmapTest, SetAllRespectsTailBits) {
+  Bitmap b(70);  // not a multiple of 64
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  b.ClearAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitmapTest, ForEachSetVisitsAscending) {
+  Bitmap b(300);
+  std::vector<size_t> expected = {3, 64, 65, 190, 299};
+  for (size_t i : expected) {
+    b.Set(i);
+  }
+  std::vector<size_t> seen;
+  b.ForEachSet([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitmapTest, OrWithUnions) {
+  Bitmap a(100);
+  Bitmap b(100);
+  a.Set(1);
+  b.Set(2);
+  b.Set(1);
+  a.OrWith(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_TRUE(a.Get(2));
+}
+
+TEST(BitmapTest, AndNotWithSubtracts) {
+  Bitmap a(100);
+  Bitmap b(100);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  a.AndNotWith(b);
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_FALSE(a.Get(2));
+}
+
+TEST(BitmapTest, FindFirstClear) {
+  Bitmap b(130);
+  EXPECT_EQ(b.FindFirstClear(), 0u);
+  b.SetRange(0, 130);
+  EXPECT_EQ(b.FindFirstClear(), 130u);  // none
+  b.Clear(128);
+  EXPECT_EQ(b.FindFirstClear(), 128u);
+  EXPECT_EQ(b.FindFirstClear(129), 130u);
+}
+
+TEST(BitmapTest, Equality) {
+  Bitmap a(64);
+  Bitmap b(64);
+  EXPECT_EQ(a, b);
+  a.Set(5);
+  EXPECT_FALSE(a == b);
+  b.Set(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitmapTest, LargeBitmapCount) {
+  Bitmap b(1u << 20);  // one Mi pages, a 4 GiB VM
+  for (size_t i = 0; i < b.size(); i += 4096) {
+    b.Set(i);
+  }
+  EXPECT_EQ(b.Count(), (1u << 20) / 4096);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,124 @@
+#include "src/mem/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/mem/page_content.h"
+
+namespace oasis {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(CompressionTest, EmptyInput) {
+  std::vector<uint8_t> empty;
+  EXPECT_TRUE(LzCompress(empty).empty());
+  auto out = LzDecompress({}, 0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(CompressionTest, RoundTripShortString) {
+  auto input = Bytes("hello world hello world hello world");
+  auto compressed = LzCompress(input);
+  auto out = LzDecompress(compressed, input.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, input);
+  EXPECT_LT(compressed.size(), input.size());
+}
+
+TEST(CompressionTest, ZeroPageCollapses) {
+  std::vector<uint8_t> page(kPageSize, 0);
+  auto compressed = LzCompress(page);
+  EXPECT_LT(compressed.size(), 200u);
+  auto out = LzDecompress(compressed, page.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, page);
+}
+
+TEST(CompressionTest, RandomDataDoesNotExplode) {
+  Rng rng(1);
+  std::vector<uint8_t> data(kPageSize);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.NextBelow(256));
+  }
+  auto compressed = LzCompress(data);
+  // Incompressible input costs at most the literal-run overhead (~0.8%).
+  EXPECT_LE(compressed.size(), data.size() + data.size() / 64 + 16);
+  auto out = LzDecompress(compressed, data.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(CompressionTest, OverlappingMatchRoundTrip) {
+  // "aaaa..." forces offset-1 overlapping copies.
+  std::vector<uint8_t> runs(5000, 'a');
+  auto compressed = LzCompress(runs);
+  EXPECT_LT(compressed.size(), 200u);
+  auto out = LzDecompress(compressed, runs.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, runs);
+}
+
+TEST(CompressionTest, DecompressRejectsCorruptOffset) {
+  // A match token referring past the start of output.
+  std::vector<uint8_t> bogus = {0x80, 0xFF, 0x00};
+  EXPECT_FALSE(LzDecompress(bogus, 10).has_value());
+}
+
+TEST(CompressionTest, DecompressRejectsTruncatedLiteralRun) {
+  std::vector<uint8_t> bogus = {0x05, 'a', 'b'};  // promises 6 literals, has 2
+  EXPECT_FALSE(LzDecompress(bogus, 6).has_value());
+}
+
+TEST(CompressionTest, DecompressRejectsWrongExpectedSize) {
+  auto input = Bytes("some content some content");
+  auto compressed = LzCompress(input);
+  EXPECT_FALSE(LzDecompress(compressed, input.size() + 1).has_value());
+}
+
+// Property test: round-trip over every synthetic page class and many pages.
+class PageRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PageRoundTripTest, GeneratedPagesRoundTrip) {
+  PageContentGenerator gen(static_cast<uint64_t>(GetParam()));
+  for (uint64_t page = 0; page < 48; ++page) {
+    PageBytes content = gen.Generate(page);
+    auto compressed = LzCompress(content);
+    auto out = LzDecompress(compressed, content.size());
+    ASSERT_TRUE(out.has_value()) << "page " << page;
+    EXPECT_EQ(*out, content) << "page " << page;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageRoundTripTest, ::testing::Values(1, 2, 3, 99, 12345));
+
+TEST(CompressionTest, ClassRatiosAreOrdered) {
+  // zero << text < code < random: the honesty of upload sizes depends on it.
+  PageContentGenerator gen(7);
+  double ratio_by_class[4] = {0, 0, 0, 0};
+  int count_by_class[4] = {0, 0, 0, 0};
+  for (uint64_t page = 0; page < 400; ++page) {
+    PageClass cls = gen.ClassOf(page);
+    ratio_by_class[static_cast<int>(cls)] += CompressionRatio(gen.Generate(page));
+    ++count_by_class[static_cast<int>(cls)];
+  }
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_GT(count_by_class[c], 0) << "class " << c;
+    ratio_by_class[c] /= count_by_class[c];
+  }
+  double zero = ratio_by_class[static_cast<int>(PageClass::kZero)];
+  double text = ratio_by_class[static_cast<int>(PageClass::kText)];
+  double code = ratio_by_class[static_cast<int>(PageClass::kCode)];
+  double random = ratio_by_class[static_cast<int>(PageClass::kRandom)];
+  EXPECT_LT(zero, 0.05);
+  EXPECT_LT(zero, text);
+  EXPECT_LT(text, code);
+  EXPECT_LT(code, random);
+  EXPECT_GT(random, 0.95);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,189 @@
+// RpcBus + HostAgent + ClusterController working together: the §4.1 control
+// flow of VM creation, migration commands, suspend/wake, and stats polling.
+
+#include <gtest/gtest.h>
+
+#include "src/ctrl/controller.h"
+#include "src/ctrl/host_agent.h"
+#include "src/ctrl/rpc_bus.h"
+
+namespace oasis {
+namespace {
+
+std::string Config(const std::string& vmid, const std::string& memory) {
+  return "vmid = " + vmid + "\ndisk = nfs://images/" + vmid + ".img\nmemory = " + memory +
+         "\nvcpus = 1\n";
+}
+
+class ControlPlaneTest : public ::testing::Test {
+ protected:
+  ControlPlaneTest() : controller_(&bus_, &store_) {
+    for (HostId h = 0; h < 3; ++h) {
+      agents_.push_back(std::make_unique<HostAgent>(&bus_, h, 128 * kGiB));
+      controller_.RegisterHost(h, 128 * kGiB);
+    }
+    store_.Put("/configs/a.cfg", Config("0001", "4G"));
+    store_.Put("/configs/b.cfg", Config("0002", "4G"));
+    store_.Put("/configs/huge.cfg", Config("0666", "200G"));
+    store_.Put("/configs/bad.cfg", "vmid = nope\n");
+  }
+
+  RpcBus bus_;
+  ConfigStore store_;
+  ClusterController controller_;
+  std::vector<std::unique_ptr<HostAgent>> agents_;
+};
+
+TEST_F(ControlPlaneTest, CreateVmPlacesOnHostWithMostFreeMemory) {
+  StatusOr<CreateVmResponse> a = controller_.CreateVm("/configs/a.cfg");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->vmid, "0001");
+  ASSERT_LT(a->host, 3u);
+  EXPECT_TRUE(agents_[a->host]->OwnsVm("0001"));
+  EXPECT_EQ(agents_[a->host]->used_bytes(), 4 * kGiB);
+  // The second VM lands on a different (now-freer) host.
+  StatusOr<CreateVmResponse> b = controller_.CreateVm("/configs/b.cfg");
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(b->host, a->host);
+}
+
+TEST_F(ControlPlaneTest, CreateVmRejectsMissingOrBadConfigs) {
+  EXPECT_EQ(controller_.CreateVm("/configs/nonexistent.cfg").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(controller_.CreateVm("/configs/bad.cfg").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ControlPlaneTest, CreateVmRejectsWhenNothingFits) {
+  EXPECT_EQ(controller_.CreateVm("/configs/huge.cfg").status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(ControlPlaneTest, FullMigrationTransfersOwnership) {
+  StatusOr<CreateVmResponse> created = controller_.CreateVm("/configs/a.cfg");
+  ASSERT_TRUE(created.ok());
+  HostId src = created->host;
+  HostId dst = (src + 1) % 3;
+  ASSERT_TRUE(controller_.MigrateVm(src, "0001", MigrationType::kFull, dst).ok());
+  EXPECT_FALSE(agents_[src]->OwnsVm("0001"));
+  EXPECT_TRUE(agents_[dst]->OwnsVm("0001"));
+  EXPECT_EQ(agents_[src]->used_bytes(), 0u);
+  EXPECT_EQ(agents_[dst]->used_bytes(), 4 * kGiB);
+}
+
+TEST_F(ControlPlaneTest, PartialMigrationKeepsOwnershipAtSource) {
+  StatusOr<CreateVmResponse> created = controller_.CreateVm("/configs/a.cfg");
+  ASSERT_TRUE(created.ok());
+  HostId src = created->host;
+  HostId dst = (src + 1) % 3;
+  ASSERT_TRUE(controller_.MigrateVm(src, "0001", MigrationType::kPartial, dst).ok());
+  // §4.2: "the VM's ownership remains with the agent of the source host";
+  // the destination runs an unowned partial replica.
+  EXPECT_TRUE(agents_[src]->OwnsVm("0001"));
+  EXPECT_FALSE(agents_[src]->VmPresent("0001"));
+  EXPECT_TRUE(agents_[dst]->HasVm("0001"));
+  EXPECT_FALSE(agents_[dst]->OwnsVm("0001"));
+  EXPECT_TRUE(agents_[dst]->VmPresent("0001"));
+}
+
+TEST_F(ControlPlaneTest, HostSuspendsAfterPartialMigratingItsVmsAway) {
+  StatusOr<CreateVmResponse> created = controller_.CreateVm("/configs/a.cfg");
+  ASSERT_TRUE(created.ok());
+  HostId src = created->host;
+  HostId dst = (src + 1) % 3;
+  ASSERT_TRUE(controller_.MigrateVm(src, "0001", MigrationType::kPartial, dst).ok());
+  // The owner record stays, but nothing executes here: S3 is allowed.
+  EXPECT_TRUE(controller_.SuspendHost(src).ok());
+  EXPECT_TRUE(agents_[src]->suspended());
+}
+
+TEST_F(ControlPlaneTest, ReintegrationReturnsReplicaToOwner) {
+  StatusOr<CreateVmResponse> created = controller_.CreateVm("/configs/a.cfg");
+  ASSERT_TRUE(created.ok());
+  HostId src = created->host;
+  HostId dst = (src + 1) % 3;
+  ASSERT_TRUE(controller_.MigrateVm(src, "0001", MigrationType::kPartial, dst).ok());
+  // The user returns: the replica partial-migrates back to its owner.
+  ASSERT_TRUE(controller_.MigrateVm(dst, "0001", MigrationType::kPartial, src).ok());
+  EXPECT_TRUE(agents_[src]->OwnsVm("0001"));
+  EXPECT_TRUE(agents_[src]->VmPresent("0001"));
+  EXPECT_FALSE(agents_[dst]->HasVm("0001"));
+  EXPECT_EQ(agents_[dst]->used_bytes(), 0u);
+}
+
+TEST_F(ControlPlaneTest, MigrateFailsForUnknownVmOrSelf) {
+  EXPECT_FALSE(controller_.MigrateVm(0, "9999", MigrationType::kFull, 1).ok());
+  StatusOr<CreateVmResponse> created = controller_.CreateVm("/configs/a.cfg");
+  ASSERT_TRUE(created.ok());
+  EXPECT_FALSE(
+      controller_.MigrateVm(created->host, "0001", MigrationType::kFull, created->host).ok());
+}
+
+TEST_F(ControlPlaneTest, SuspendRefusedWhileRunningVms) {
+  StatusOr<CreateVmResponse> created = controller_.CreateVm("/configs/a.cfg");
+  ASSERT_TRUE(created.ok());
+  EXPECT_FALSE(controller_.SuspendHost(created->host).ok());
+  HostId other = (created->host + 1) % 3;
+  EXPECT_TRUE(controller_.SuspendHost(other).ok());
+  EXPECT_TRUE(agents_[other]->suspended());
+}
+
+TEST_F(ControlPlaneTest, SuspendedHostRejectsCreationUntilWoken) {
+  ASSERT_TRUE(controller_.SuspendHost(0).ok());
+  ASSERT_TRUE(controller_.SuspendHost(1).ok());
+  ASSERT_TRUE(controller_.SuspendHost(2).ok());
+  EXPECT_FALSE(controller_.CreateVm("/configs/a.cfg").ok());
+  ASSERT_TRUE(controller_.WakeHost(1).ok());
+  StatusOr<CreateVmResponse> created = controller_.CreateVm("/configs/a.cfg");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created->host, 1u);
+}
+
+TEST_F(ControlPlaneTest, StatsPollingReportsEveryAgent) {
+  controller_.CreateVm("/configs/a.cfg");
+  controller_.CreateVm("/configs/b.cfg");
+  std::vector<HostStatsReport> reports = controller_.CollectStats();
+  ASSERT_EQ(reports.size(), 3u);
+  int total_vms = 0;
+  for (const HostStatsReport& report : reports) {
+    total_vms += static_cast<int>(report.vms.size());
+  }
+  EXPECT_EQ(total_vms, 2);
+}
+
+TEST_F(ControlPlaneTest, StatsSkipUnreachableAgents) {
+  agents_.erase(agents_.begin());  // host 0's agent disappears
+  std::vector<HostStatsReport> reports = controller_.CollectStats();
+  EXPECT_EQ(reports.size(), 2u);
+}
+
+TEST_F(ControlPlaneTest, BusLogsWireTraffic) {
+  controller_.CreateVm("/configs/a.cfg");
+  EXPECT_GT(bus_.calls(), 0u);
+  EXPECT_GT(bus_.bytes_transferred(), 0u);
+  bool saw_create = false;
+  for (const std::string& line : bus_.log()) {
+    if (line.find("CREATE_VM") != std::string::npos) {
+      saw_create = true;
+    }
+  }
+  EXPECT_TRUE(saw_create);
+}
+
+TEST(RpcBusTest, DuplicateEndpointRejected) {
+  RpcBus bus;
+  ASSERT_TRUE(bus.RegisterEndpoint("x", [](const ControlMessage&) {
+    return ControlMessage(AckResponse{true, ""});
+  }).ok());
+  EXPECT_FALSE(bus.RegisterEndpoint("x", [](const ControlMessage&) {
+    return ControlMessage(AckResponse{true, ""});
+  }).ok());
+}
+
+TEST(RpcBusTest, CallToMissingEndpointFails) {
+  RpcBus bus;
+  EXPECT_EQ(bus.Call("a", "b", AckResponse{}).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace oasis

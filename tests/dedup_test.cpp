@@ -1,0 +1,83 @@
+#include "src/mem/dedup.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+PageBytes FilledPage(uint8_t value) { return PageBytes(kPageSize, value); }
+
+TEST(HashPageTest, EqualContentEqualHash) {
+  EXPECT_EQ(HashPage(FilledPage(7)), HashPage(FilledPage(7)));
+  EXPECT_NE(HashPage(FilledPage(7)), HashPage(FilledPage(8)));
+}
+
+TEST(HashPageTest, SingleBitFlipChangesHash) {
+  PageBytes a = FilledPage(0);
+  PageBytes b = a;
+  b[2048] ^= 1;
+  EXPECT_NE(HashPage(a), HashPage(b));
+}
+
+TEST(DedupStoreTest, StartsEmpty) {
+  DedupPageStore store;
+  EXPECT_EQ(store.unique_pages(), 0u);
+  EXPECT_EQ(store.total_references(), 0u);
+  EXPECT_DOUBLE_EQ(store.DedupFactor(), 1.0);
+}
+
+TEST(DedupStoreTest, DuplicatesShareStorage) {
+  DedupPageStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.Insert(FilledPage(0));
+  }
+  EXPECT_EQ(store.unique_pages(), 1u);
+  EXPECT_EQ(store.total_references(), 10u);
+  EXPECT_DOUBLE_EQ(store.DedupFactor(), 10.0);
+  EXPECT_EQ(store.StoredBytes(), kPageSize);
+  EXPECT_EQ(store.LogicalBytes(), 10 * kPageSize);
+}
+
+TEST(DedupStoreTest, RemoveFreesAtZeroRefs) {
+  DedupPageStore store;
+  uint64_t h = store.Insert(FilledPage(1));
+  store.Insert(FilledPage(1));
+  EXPECT_TRUE(store.Remove(h));
+  EXPECT_TRUE(store.Contains(h));  // one ref left
+  EXPECT_TRUE(store.Remove(h));
+  EXPECT_FALSE(store.Contains(h));
+  EXPECT_FALSE(store.Remove(h));  // already gone
+}
+
+TEST(DedupStoreTest, ZeroPagesDedupAcrossVms) {
+  // Zero pages are identical across every VM — the biggest dedup win a
+  // memory server sees.
+  DedupPageStore store;
+  int zero_pages = 0;
+  for (uint64_t vm_seed = 1; vm_seed <= 5; ++vm_seed) {
+    PageContentGenerator gen(vm_seed);
+    for (uint64_t page = 0; page < 200; ++page) {
+      store.Insert(gen.Generate(page));
+      if (gen.ClassOf(page) == PageClass::kZero) {
+        ++zero_pages;
+      }
+    }
+  }
+  // All zero pages collapse to a single stored page.
+  EXPECT_EQ(store.total_references(), 1000u);
+  EXPECT_EQ(store.unique_pages(), 1000u - zero_pages + 1);
+  EXPECT_GT(store.DedupFactor(), 1.1);
+}
+
+TEST(DedupStoreTest, DistinctContentDoesNotDedup) {
+  DedupPageStore store;
+  PageContentGenerator gen(3, PageClassMix{0.0, 0.0, 0.0, 1.0});  // all random
+  for (uint64_t page = 0; page < 100; ++page) {
+    store.Insert(gen.Generate(page));
+  }
+  EXPECT_EQ(store.unique_pages(), 100u);
+  EXPECT_DOUBLE_EQ(store.DedupFactor(), 1.0);
+}
+
+}  // namespace
+}  // namespace oasis

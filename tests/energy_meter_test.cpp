@@ -1,0 +1,59 @@
+#include "src/power/energy_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+TEST(EnergyMeterTest, ConstantDrawIntegrates) {
+  EnergyMeter m(SimTime::Zero(), 100.0);
+  m.Advance(SimTime::Hours(2));
+  EXPECT_DOUBLE_EQ(ToWattHours(m.total_joules()), 200.0);
+}
+
+TEST(EnergyMeterTest, PiecewiseConstant) {
+  EnergyMeter m(SimTime::Zero(), 100.0);
+  m.SetDraw(SimTime::Hours(1), 50.0);   // 100 Wh so far
+  m.SetDraw(SimTime::Hours(3), 0.0);    // +100 Wh
+  m.Advance(SimTime::Hours(10));        // +0
+  EXPECT_DOUBLE_EQ(ToWattHours(m.total_joules()), 200.0);
+  EXPECT_DOUBLE_EQ(m.current_draw(), 0.0);
+}
+
+TEST(EnergyMeterTest, RepeatedAdvanceIsIdempotentAtSameTime) {
+  EnergyMeter m(SimTime::Zero(), 10.0);
+  m.Advance(SimTime::Hours(1));
+  double j = m.total_joules();
+  m.Advance(SimTime::Hours(1));
+  EXPECT_DOUBLE_EQ(m.total_joules(), j);
+}
+
+TEST(EnergyMeterTest, TransitionSpikeAccounting) {
+  // Suspend at 138.2 W for 3.1 s then sleep at 12.9 W — the Table 1 numbers.
+  EnergyMeter m(SimTime::Zero(), 138.2);
+  m.SetDraw(SimTime::Seconds(3.1), 12.9);
+  m.Advance(SimTime::Seconds(3.1 + 3600.0));
+  EXPECT_NEAR(m.total_joules(), 138.2 * 3.1 + 12.9 * 3600.0, 1e-6);
+}
+
+TEST(StateTimeLedgerTest, TracksTimePerState) {
+  StateTimeLedger ledger(SimTime::Zero(), HostPowerState::kPowered);
+  ledger.Transition(SimTime::Hours(2), HostPowerState::kSuspending);
+  ledger.Transition(SimTime::Hours(2) + SimTime::Seconds(3.1), HostPowerState::kSleeping);
+  ledger.Advance(SimTime::Hours(10));
+  EXPECT_EQ(ledger.TimeIn(HostPowerState::kPowered), SimTime::Hours(2));
+  EXPECT_EQ(ledger.TimeIn(HostPowerState::kSuspending), SimTime::Seconds(3.1));
+  EXPECT_NEAR(ledger.TimeIn(HostPowerState::kSleeping).seconds(), 8 * 3600.0 - 3.1, 1e-6);
+  EXPECT_EQ(ledger.state(), HostPowerState::kSleeping);
+}
+
+TEST(StateTimeLedgerTest, SleepFraction) {
+  StateTimeLedger ledger(SimTime::Zero(), HostPowerState::kSleeping);
+  ledger.Transition(SimTime::Hours(6), HostPowerState::kPowered);
+  ledger.Advance(SimTime::Hours(24));
+  EXPECT_DOUBLE_EQ(ledger.SleepFraction(SimTime::Hours(24)), 0.25);
+  EXPECT_DOUBLE_EQ(ledger.SleepFraction(SimTime::Zero()), 0.0);
+}
+
+}  // namespace
+}  // namespace oasis

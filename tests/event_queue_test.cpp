@@ -1,0 +1,90 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(EventQueueTest, EmptyQueue) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.NextTime(), SimTime::Max());
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime::Seconds(3), [&] { order.push_back(3); });
+  q.Schedule(SimTime::Seconds(1), [&] { order.push_back(1); });
+  q.Schedule(SimTime::Seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.Pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(SimTime::Seconds(1), [&, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.Pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Schedule(SimTime::Seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue q;
+  EventId id = q.Schedule(SimTime::Seconds(1), [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.Schedule(SimTime::Seconds(1), [] {});
+  q.Schedule(SimTime::Seconds(5), [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.NextTime(), SimTime::Seconds(5));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, PopReportsTimeAndId) {
+  EventQueue q;
+  EventId id = q.Schedule(SimTime::Seconds(7), [] {});
+  auto popped = q.Pop();
+  EXPECT_EQ(popped.time, SimTime::Seconds(7));
+  EXPECT_EQ(popped.id, id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ManyEventsStressOrder) {
+  EventQueue q;
+  for (int i = 999; i >= 0; --i) {
+    q.Schedule(SimTime::Micros(i * 13 % 997), [] {});
+  }
+  SimTime prev = SimTime::Zero();
+  while (!q.empty()) {
+    auto e = q.Pop();
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,176 @@
+#include "src/cluster/host.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+ClusterConfig TestConfig() {
+  ClusterConfig config;
+  config.host_memory_bytes = 128 * kGiB;
+  return config;
+}
+
+TEST(ClusterHostTest, InitialState) {
+  ClusterConfig config = TestConfig();
+  ClusterHost powered(0, HostKind::kHome, config, true);
+  ClusterHost asleep(1, HostKind::kConsolidation, config, false);
+  EXPECT_TRUE(powered.IsPowered());
+  EXPECT_TRUE(asleep.IsAsleep());
+  EXPECT_EQ(powered.capacity_bytes(), 128 * kGiB);
+  EXPECT_EQ(powered.reserved_bytes(), 0u);
+  EXPECT_FALSE(powered.HasVms());
+}
+
+TEST(ClusterHostTest, ReserveRelease) {
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  host.Reserve(100 * kGiB);
+  EXPECT_EQ(host.AvailableBytes(), 28 * kGiB);
+  EXPECT_TRUE(host.CanFit(28 * kGiB));
+  EXPECT_FALSE(host.CanFit(28 * kGiB + 1));
+  host.Release(50 * kGiB);
+  EXPECT_EQ(host.reserved_bytes(), 50 * kGiB);
+}
+
+TEST(ClusterHostTest, SleepTakesSuspendLatency) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  host.RequestSleep(sim);
+  EXPECT_EQ(host.power_state(), HostPowerState::kSuspending);
+  sim.RunUntil(SimTime::Seconds(3.0));
+  EXPECT_EQ(host.power_state(), HostPowerState::kSuspending);
+  sim.RunUntil(SimTime::Seconds(3.2));
+  EXPECT_TRUE(host.IsAsleep());
+}
+
+TEST(ClusterHostTest, WakeTakesResumeLatency) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), false);
+  SimTime powered_at;
+  host.RequestWake(sim, [&](SimTime t) { powered_at = t; });
+  EXPECT_EQ(host.power_state(), HostPowerState::kResuming);
+  sim.RunToCompletion();
+  EXPECT_TRUE(host.IsPowered());
+  EXPECT_EQ(powered_at, SimTime::Seconds(2.3));
+}
+
+TEST(ClusterHostTest, WakeWhenPoweredFiresImmediately) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  bool fired = false;
+  host.RequestWake(sim, [&](SimTime) { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(ClusterHostTest, WakeDuringSuspendQueuesBehindIt) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  host.RequestSleep(sim);
+  SimTime powered_at;
+  sim.ScheduleAfter(SimTime::Seconds(1), [&] {
+    host.RequestWake(sim, [&](SimTime t) { powered_at = t; });
+  });
+  sim.RunToCompletion();
+  EXPECT_TRUE(host.IsPowered());
+  // Full suspend (3.1 s) then resume (2.3 s).
+  EXPECT_NEAR(powered_at.seconds(), 5.4, 0.01);
+}
+
+TEST(ClusterHostTest, OnAsleepCallbackFires) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  SimTime asleep_at;
+  host.RequestSleep(sim, [&](SimTime t) { asleep_at = t; });
+  sim.RunToCompletion();
+  EXPECT_EQ(asleep_at, SimTime::Seconds(3.1));
+}
+
+TEST(ClusterHostTest, SleepRequestIgnoredUnlessPowered) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), false);
+  host.RequestSleep(sim);
+  EXPECT_TRUE(host.IsAsleep());  // unchanged, no crash
+}
+
+TEST(ClusterHostTest, MultipleWakeWaitersAllFire) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), false);
+  int fired = 0;
+  host.RequestWake(sim, [&](SimTime) { ++fired; });
+  host.RequestWake(sim, [&](SimTime) { ++fired; });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ClusterHostTest, EarliestPoweredTime) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  EXPECT_EQ(host.EarliestPoweredTime(SimTime::Zero()), SimTime::Zero());
+  host.RequestSleep(sim);
+  // Suspending: must finish suspend then resume.
+  EXPECT_NEAR(host.EarliestPoweredTime(SimTime::Zero()).seconds(), 5.4, 0.01);
+  sim.RunToCompletion();
+  EXPECT_NEAR(host.EarliestPoweredTime(SimTime::Seconds(10)).seconds(), 12.3, 0.01);
+}
+
+TEST(ClusterHostTest, OutboundMigrationsSerialize) {
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  SimTime d1 = host.EnqueueOutboundMigration(SimTime::Zero(), SimTime::Seconds(10));
+  SimTime d2 = host.EnqueueOutboundMigration(SimTime::Zero(), SimTime::Seconds(7.2));
+  EXPECT_EQ(d1, SimTime::Seconds(10));
+  EXPECT_NEAR(d2.seconds(), 17.2, 1e-9);
+  EXPECT_EQ(host.outbound_busy_until(), d2);
+}
+
+TEST(ClusterHostTest, InboundTransfersSerializeIndependently) {
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  host.EnqueueOutboundMigration(SimTime::Zero(), SimTime::Seconds(100));
+  SimTime d = host.EnqueueInboundTransfer(SimTime::Zero(), SimTime::Seconds(1.5));
+  EXPECT_NEAR(d.seconds(), 1.5, 1e-9);  // unaffected by outbound backlog
+}
+
+TEST(ClusterHostTest, EnergyAccountsStates) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  // Powered and empty: 102.2 W for one hour.
+  Joules e1 = host.HostEnergy(SimTime::Hours(1));
+  EXPECT_NEAR(ToWattHours(e1), 102.2, 0.01);
+}
+
+TEST(ClusterHostTest, VmResidencyRaisesDraw) {
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  for (VmId v = 0; v < 30; ++v) {
+    host.AddVm(SimTime::Zero(), v);
+  }
+  // Saturated at the 20-VM figure: 137.9 W.
+  EXPECT_NEAR(ToWattHours(host.HostEnergy(SimTime::Hours(1))), 137.9, 0.01);
+}
+
+TEST(ClusterHostTest, SleepEnergyIncludesTransitionSpike) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  host.RequestSleep(sim);
+  sim.RunToCompletion();
+  Joules e = host.HostEnergy(SimTime::Hours(1));
+  double expected = 138.2 * 3.1 + 12.9 * (3600.0 - 3.1);
+  EXPECT_NEAR(e, expected, 1.0);
+}
+
+TEST(ClusterHostTest, MemoryServerEnergySeparate) {
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  host.SetMemoryServerPowered(SimTime::Zero(), true);
+  host.SetMemoryServerPowered(SimTime::Hours(2), false);
+  EXPECT_NEAR(ToWattHours(host.MemoryServerEnergy(SimTime::Hours(5))), 84.4, 0.01);
+}
+
+TEST(ClusterHostTest, LedgerTracksSleepFraction) {
+  Simulator sim;
+  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  host.RequestSleep(sim);
+  sim.RunToCompletion();
+  host.AdvanceLedger(SimTime::Hours(24));
+  EXPECT_GT(host.ledger().SleepFraction(SimTime::Hours(24)), 0.99);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,100 @@
+#include "src/cluster/idleness.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+constexpr SimTime kInterval = SimTime::Minutes(5);
+
+uint64_t MibPerMin(double rate) { return MiBToBytes(rate * kInterval.minutes()); }
+
+TEST(IdlenessDetectorTest, StartsActive) {
+  DirtyRateIdlenessDetector detector;
+  EXPECT_EQ(detector.activity(), VmActivity::kActive);
+  EXPECT_EQ(detector.transitions(), 0);
+}
+
+TEST(IdlenessDetectorTest, NeedsConsecutiveQuietIntervalsToGoIdle) {
+  DirtyRateIdlenessDetector detector;  // idle after 2 quiet intervals
+  EXPECT_EQ(detector.Observe(MibPerMin(1.2), kInterval), VmActivity::kActive);
+  EXPECT_EQ(detector.Observe(MibPerMin(1.2), kInterval), VmActivity::kIdle);
+  EXPECT_EQ(detector.transitions(), 1);
+}
+
+TEST(IdlenessDetectorTest, FlickerDoesNotTriggerIdle) {
+  DirtyRateIdlenessDetector detector;
+  detector.Observe(MibPerMin(1.0), kInterval);   // quiet
+  detector.Observe(MibPerMin(30.0), kInterval);  // burst resets the streak
+  detector.Observe(MibPerMin(1.0), kInterval);   // quiet again
+  EXPECT_EQ(detector.activity(), VmActivity::kActive);
+  detector.Observe(MibPerMin(1.0), kInterval);
+  EXPECT_EQ(detector.activity(), VmActivity::kIdle);
+}
+
+TEST(IdlenessDetectorTest, ReactivatesImmediatelyByDefault) {
+  DirtyRateIdlenessDetector detector;
+  detector.Observe(MibPerMin(0.5), kInterval);
+  detector.Observe(MibPerMin(0.5), kInterval);
+  ASSERT_EQ(detector.activity(), VmActivity::kIdle);
+  // A single busy interval flips it back: users must not wait.
+  EXPECT_EQ(detector.Observe(MibPerMin(50.0), kInterval), VmActivity::kActive);
+  EXPECT_EQ(detector.transitions(), 2);
+}
+
+TEST(IdlenessDetectorTest, ThresholdSeparatesBackgroundChurnFromUsers) {
+  // Idle desktops churn ~1.2 MiB/min (§4.4.1 background tasks); an active
+  // user dirties tens (§4.4.3: ~8.8 MiB/min while merely consolidated).
+  IdlenessDetectorConfig config;
+  DirtyRateIdlenessDetector detector(config);
+  detector.Observe(MibPerMin(1.2), kInterval);
+  detector.Observe(MibPerMin(1.2), kInterval);
+  EXPECT_EQ(detector.activity(), VmActivity::kIdle);
+  detector.Observe(MibPerMin(8.8), kInterval);
+  EXPECT_EQ(detector.activity(), VmActivity::kActive);
+}
+
+TEST(IdlenessDetectorTest, CustomHysteresis) {
+  IdlenessDetectorConfig config;
+  config.idle_intervals = 4;
+  config.active_intervals = 2;
+  DirtyRateIdlenessDetector detector(config);
+  for (int i = 0; i < 3; ++i) {
+    detector.Observe(0, kInterval);
+  }
+  EXPECT_EQ(detector.activity(), VmActivity::kActive);
+  detector.Observe(0, kInterval);
+  EXPECT_EQ(detector.activity(), VmActivity::kIdle);
+  detector.Observe(MibPerMin(99), kInterval);
+  EXPECT_EQ(detector.activity(), VmActivity::kIdle);  // needs 2 busy samples
+  detector.Observe(MibPerMin(99), kInterval);
+  EXPECT_EQ(detector.activity(), VmActivity::kActive);
+}
+
+TEST(IdlenessDetectorTest, StartIdleSeed) {
+  DirtyRateIdlenessDetector detector(IdlenessDetectorConfig{}, VmActivity::kIdle);
+  EXPECT_EQ(detector.activity(), VmActivity::kIdle);
+  EXPECT_EQ(detector.Observe(MibPerMin(50.0), kInterval), VmActivity::kActive);
+}
+
+class IdlenessThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IdlenessThresholdTest, RatesBelowThresholdEventuallyIdle) {
+  IdlenessDetectorConfig config;
+  config.idle_threshold_mib_per_min = GetParam();
+  DirtyRateIdlenessDetector detector(config);
+  for (int i = 0; i < 5; ++i) {
+    detector.Observe(MibPerMin(GetParam() * 0.9), kInterval);
+  }
+  EXPECT_EQ(detector.activity(), VmActivity::kIdle);
+  for (int i = 0; i < 5; ++i) {
+    detector.Observe(MibPerMin(GetParam() * 1.1), kInterval);
+  }
+  EXPECT_EQ(detector.activity(), VmActivity::kActive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, IdlenessThresholdTest,
+                         ::testing::Values(0.5, 2.0, 4.0, 10.0));
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,129 @@
+// Cross-module integration tests: the paper's qualitative claims must hold
+// end-to-end on a mid-sized cluster with a realistic synthetic trace.
+
+#include <gtest/gtest.h>
+
+#include "src/core/oasis.h"
+
+namespace oasis {
+namespace {
+
+// 10 homes x 10 VMs with 2 consolidation hosts: big enough for the policy
+// dynamics, small enough for unit-test latency.
+SimulationConfig MidCluster(ConsolidationPolicy policy, DayKind day = DayKind::kWeekday) {
+  SimulationConfig config;
+  config.cluster.num_home_hosts = 10;
+  config.cluster.num_consolidation_hosts = 2;
+  config.cluster.vms_per_home = 10;
+  config.cluster.policy = policy;
+  config.day = day;
+  config.seed = 1234;
+  return config;
+}
+
+double Savings(ConsolidationPolicy policy, DayKind day = DayKind::kWeekday) {
+  return ClusterSimulation(MidCluster(policy, day)).Run().metrics.EnergySavings();
+}
+
+TEST(IntegrationTest, HybridBeatsPartialOnly) {
+  // The paper's core claim: hybrid consolidation (FulltoPartial) saves far
+  // more energy than partial migration alone.
+  double only_partial = Savings(ConsolidationPolicy::kOnlyPartial);
+  double full_to_partial = Savings(ConsolidationPolicy::kFullToPartial);
+  EXPECT_GT(full_to_partial, only_partial + 0.05);
+}
+
+TEST(IntegrationTest, FullToPartialBeatsDefault) {
+  // §5.3: recycling idle full VMs into partials frees consolidation memory.
+  double dflt = Savings(ConsolidationPolicy::kDefault);
+  double f2p = Savings(ConsolidationPolicy::kFullToPartial);
+  EXPECT_GT(f2p, dflt);
+}
+
+TEST(IntegrationTest, NewHomeAddsLittleOverFullToPartial) {
+  // §5.3: "the more complex NewHome policy does not achieve additional
+  // saving beyond the FulltoPartial policy".
+  double f2p = Savings(ConsolidationPolicy::kFullToPartial);
+  double new_home = Savings(ConsolidationPolicy::kNewHome);
+  EXPECT_NEAR(new_home, f2p, 0.08);
+}
+
+TEST(IntegrationTest, WeekendsSaveMoreThanWeekdays) {
+  double weekday = Savings(ConsolidationPolicy::kFullToPartial, DayKind::kWeekday);
+  double weekend = Savings(ConsolidationPolicy::kFullToPartial, DayKind::kWeekend);
+  EXPECT_GT(weekend, weekday);
+}
+
+TEST(IntegrationTest, FullToPartialTradesTrafficForEnergy) {
+  // §5.4: FulltoPartial moves more bytes than Default in exchange for the
+  // energy win.
+  auto dflt = ClusterSimulation(MidCluster(ConsolidationPolicy::kDefault)).Run();
+  auto f2p = ClusterSimulation(MidCluster(ConsolidationPolicy::kFullToPartial)).Run();
+  EXPECT_GT(f2p.metrics.traffic.NetworkTotal(), dflt.metrics.traffic.NetworkTotal());
+}
+
+TEST(IntegrationTest, FullToPartialRaisesConsolidationRatio) {
+  // Fig 9: the median number of VMs per consolidation host grows when idle
+  // full VMs are recycled into partials.
+  auto dflt = ClusterSimulation(MidCluster(ConsolidationPolicy::kDefault)).Run();
+  auto f2p = ClusterSimulation(MidCluster(ConsolidationPolicy::kFullToPartial)).Run();
+  ASSERT_GT(dflt.metrics.consolidation_ratio.count(), 0u);
+  ASSERT_GT(f2p.metrics.consolidation_ratio.count(), 0u);
+  EXPECT_GT(f2p.metrics.consolidation_ratio.Quantile(0.5),
+            dflt.metrics.consolidation_ratio.Quantile(0.5));
+}
+
+TEST(IntegrationTest, MostTransitionsAreZeroDelay) {
+  // Fig 11: the majority of idle->active transitions land on full VMs.
+  auto result = ClusterSimulation(MidCluster(ConsolidationPolicy::kFullToPartial)).Run();
+  const EmpiricalCdf& delays = result.metrics.transition_delay_s;
+  ASSERT_GT(delays.count(), 100u);
+  EXPECT_GT(delays.FractionAtOrBelow(0.001), 0.35);
+  // And reintegration delays are small: sub-minute p99.
+  EXPECT_LT(delays.Quantile(0.99), 60.0);
+}
+
+TEST(IntegrationTest, CheaperMemoryServerImprovesSavings) {
+  // Table 3: memory-server power directly trades against savings.
+  SimulationConfig base = MidCluster(ConsolidationPolicy::kFullToPartial);
+  SimulationConfig cheap = base;
+  cheap.cluster.memory_server_power = MemoryServerProfile::WithPower(1.0);
+  double savings_base = ClusterSimulation(base).Run().metrics.EnergySavings();
+  double savings_cheap = ClusterSimulation(cheap).Run().metrics.EnergySavings();
+  EXPECT_GT(savings_cheap, savings_base + 0.02);
+}
+
+TEST(IntegrationTest, MoreConsolidationHostsNeverHurtMuch) {
+  // Fig 8: savings rise with consolidation hosts then level off.
+  SimulationConfig two = MidCluster(ConsolidationPolicy::kFullToPartial);
+  SimulationConfig four = two;
+  four.cluster.num_consolidation_hosts = 4;
+  double s2 = ClusterSimulation(two).Run().metrics.EnergySavings();
+  double s4 = ClusterSimulation(four).Run().metrics.EnergySavings();
+  EXPECT_GT(s4, s2 - 0.05);
+}
+
+TEST(IntegrationTest, PoweredHostsTrackActivity) {
+  // Fig 7: powered-host count correlates with the active-VM curve.
+  auto result = ClusterSimulation(MidCluster(ConsolidationPolicy::kFullToPartial)).Run();
+  const auto& timeline = result.metrics.timeline;
+  int peak_active = 0;
+  int peak_interval = 0;
+  int trough_active = INT32_MAX;
+  int trough_interval = 0;
+  // Skip the first hour (initial consolidation transient).
+  for (size_t i = 12; i < timeline.size(); ++i) {
+    if (timeline[i].active_vms > peak_active) {
+      peak_active = timeline[i].active_vms;
+      peak_interval = static_cast<int>(i);
+    }
+    if (timeline[i].active_vms < trough_active) {
+      trough_active = timeline[i].active_vms;
+      trough_interval = static_cast<int>(i);
+    }
+  }
+  EXPECT_GE(timeline[peak_interval].powered_hosts, timeline[trough_interval].powered_hosts);
+}
+
+}  // namespace
+}  // namespace oasis

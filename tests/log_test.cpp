@@ -1,0 +1,51 @@
+#include "src/common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+// Restores the global log level around each test.
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() : saved_(GetLogLevel()) {}
+  ~LogTest() override { SetLogLevel(saved_); }
+
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, DefaultLevelIsWarning) {
+  // The library must not chatter unless asked.
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LogTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LogTest, MacroCompilesAndStreams) {
+  SetLogLevel(LogLevel::kOff);  // silence output, exercise the path
+  OASIS_LOG(kInfo) << "value=" << 42 << " host=" << std::string("h1");
+  OASIS_LOG(kError) << "still fine";
+  SUCCEED();
+}
+
+TEST_F(LogTest, BelowThresholdShortCircuits) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "expensive";
+  };
+  OASIS_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);  // the stream expression never ran
+  SetLogLevel(LogLevel::kOff);
+  OASIS_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,242 @@
+// Scenario-level cluster-manager tests: migration aborts, drains, swaps,
+// capacity exhaustion, and invariants under parameterized cluster shapes.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/manager.h"
+#include "src/trace/trace_generator.h"
+
+namespace oasis {
+namespace {
+
+TraceSet IdleTrace(int users) { return TraceSet(static_cast<size_t>(users), UserDay{}); }
+
+// Activates `user` for [from, to) intervals.
+void Activate(TraceSet& trace, int user, int from, int to) {
+  for (int i = from; i < to && i < kIntervalsPerDay; ++i) {
+    trace[static_cast<size_t>(user)].SetActive(i, true);
+  }
+}
+
+TEST(ManagerScenarioTest, QueuedPartialMigrationAbortsWhenUserReturns) {
+  // One dense home host: vacating its 45 idle VMs takes 45 x 7.2 s = 324 s,
+  // longer than one planning interval. A VM near the end of the queue whose
+  // user returns at the next interval has not been suspended yet — the move
+  // aborts and the user sees zero delay.
+  ClusterConfig config;
+  config.num_home_hosts = 1;
+  config.num_consolidation_hosts = 2;
+  config.SetVmsPerHome(45);
+  config.policy = ConsolidationPolicy::kFullToPartial;
+  TraceSet trace = IdleTrace(45);
+  Activate(trace, 44, 1, 4);  // back 5 minutes after the vacate starts
+
+  ClusterManager manager(config, trace);
+  ClusterMetrics m = manager.Run();
+  ASSERT_GT(m.transition_delay_s.count(), 0u);
+  // The returning user waited nothing: the queued migration was cancelled
+  // (or, had the VM already moved, it converted in place within seconds).
+  EXPECT_LT(m.transition_delay_s.Quantile(0.5), 4.0);
+  EXPECT_LT(m.transition_delay_s.Max(), 30.0);
+}
+
+TEST(ManagerScenarioTest, CapacityExhaustionReturnsWholeHomeGroup) {
+  // A consolidation host too small to hold a converting VM forces the
+  // §3.2 Default fallback: wake the home, return all its VMs.
+  ClusterConfig config;
+  config.num_home_hosts = 2;
+  config.num_consolidation_hosts = 1;
+  config.vms_per_home = 10;
+  config.host_memory_bytes = 44 * kGiB;  // fits 10 x 4 GiB + working sets, barely
+  config.policy = ConsolidationPolicy::kDefault;
+  TraceSet trace = IdleTrace(20);
+  // Overnight everyone idles; at 09:00 twelve users come back at once and
+  // their in-place conversions (4 GiB each) exhaust the 44 GiB host.
+  for (int u = 0; u < 12; ++u) {
+    Activate(trace, u, IntervalAt(9.0), IntervalAt(17.0));
+  }
+  ClusterManager manager(config, trace);
+  ClusterMetrics m = manager.Run();
+  EXPECT_GT(m.capacity_exhaustions, 0u);
+  EXPECT_GT(m.reintegrations, 0u);
+  // Whatever happened, no active VM may end up without full resources.
+  for (size_t v = 0; v < manager.num_vms(); ++v) {
+    const VmSlot& vm = manager.GetVm(static_cast<VmId>(v));
+    if (vm.activity == VmActivity::kActive && !vm.migration_in_flight) {
+      EXPECT_NE(vm.residency, VmResidency::kPartial) << "vm " << v;
+    }
+  }
+}
+
+TEST(ManagerScenarioTest, FullToPartialSwapRecyclesConsolidationMemory) {
+  // A user active overnight gets vacated in full; when they stop at 02:00,
+  // FulltoPartial returns the VM home and re-consolidates it partially,
+  // freeing most of its reservation.
+  ClusterConfig config;
+  config.num_home_hosts = 2;
+  config.num_consolidation_hosts = 1;
+  config.vms_per_home = 5;
+  config.policy = ConsolidationPolicy::kFullToPartial;
+  TraceSet trace = IdleTrace(10);
+  Activate(trace, 0, 0, IntervalAt(2.0));
+
+  ClusterManager manager(config, trace);
+  ClusterMetrics m = manager.Run();
+  EXPECT_GT(m.full_to_partial_swaps, 0u);
+  // By the end of the day the VM is partial again.
+  EXPECT_EQ(manager.GetVm(0).residency, VmResidency::kPartial);
+  // Default would have left it parked in full; here the reservation shrank.
+  EXPECT_LT(manager.GetVm(0).ws_bytes, 1 * kGiB);
+}
+
+TEST(ManagerScenarioTest, DefaultLeavesIdleFullVmsParked) {
+  ClusterConfig config;
+  config.num_home_hosts = 2;
+  config.num_consolidation_hosts = 1;
+  config.vms_per_home = 5;
+  config.policy = ConsolidationPolicy::kDefault;
+  TraceSet trace = IdleTrace(10);
+  Activate(trace, 0, 0, IntervalAt(2.0));
+
+  ClusterManager manager(config, trace);
+  ClusterMetrics m = manager.Run();
+  EXPECT_EQ(m.full_to_partial_swaps, 0u);
+  EXPECT_EQ(manager.GetVm(0).residency, VmResidency::kFullAtConsolidation);
+}
+
+TEST(ManagerScenarioTest, DrainCollapsesConsolidationHosts) {
+  // Plenty of consolidation hosts for few VMs: after the initial spread the
+  // drain step should concentrate the partials and let the spares sleep.
+  ClusterConfig config;
+  config.num_home_hosts = 4;
+  config.num_consolidation_hosts = 4;
+  config.vms_per_home = 8;
+  config.policy = ConsolidationPolicy::kFullToPartial;
+  ClusterManager manager(config, IdleTrace(32));
+  ClusterMetrics m = manager.Run();
+  // 32 partial working sets (~165 MiB each) fit one host with ease.
+  EXPECT_EQ(m.timeline.back().powered_consolidation_hosts, 1);
+}
+
+TEST(ManagerScenarioTest, NewHomeMovesInsteadOfWakingHome) {
+  // NewHome: when a conversion would not fit, the VM moves to another
+  // *currently powered* consolidation host instead of waking its home. That
+  // situation needs both consolidation hosts busy, so this scenario uses a
+  // mid-sized cluster under a realistic diurnal trace.
+  ClusterConfig config;
+  config.num_home_hosts = 12;
+  config.num_consolidation_hosts = 2;
+  config.vms_per_home = 30;
+  config.policy = ConsolidationPolicy::kNewHome;
+  config.seed = 7;
+  TraceGenerator gen(TraceGeneratorConfig{}, 11);
+  ClusterManager manager(config, gen.GenerateTraceSet(config.TotalVms(), DayKind::kWeekday));
+  ClusterMetrics m = manager.Run();
+  EXPECT_GT(m.new_home_moves, 0u);
+  // NewHome only refines the fallback; exhaustion returns still occur when
+  // no powered host has room.
+  EXPECT_GT(m.capacity_exhaustions, 0u);
+}
+
+struct ShapeParam {
+  int homes;
+  int vms;
+  int cons;
+  ConsolidationPolicy policy;
+};
+
+class ManagerShapeTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(ManagerShapeTest, InvariantsHoldForRealisticDay) {
+  ShapeParam param = GetParam();
+  ClusterConfig config;
+  config.num_home_hosts = param.homes;
+  config.num_consolidation_hosts = param.cons;
+  config.vms_per_home = param.vms;
+  config.policy = param.policy;
+  config.seed = 99;
+  TraceGenerator gen(TraceGeneratorConfig{}, 31);
+  ClusterManager manager(config, gen.GenerateTraceSet(config.TotalVms(), DayKind::kWeekday));
+  ClusterMetrics m = manager.Run();
+
+  // Energy sanity.
+  EXPECT_GT(m.TotalEnergy(), 0.0);
+  EXPECT_LT(m.TotalEnergy(), m.baseline_energy * 1.5);
+  // Capacity: no host over-reserved (the assert would have fired too).
+  for (size_t h = 0; h < manager.num_hosts(); ++h) {
+    EXPECT_LE(manager.GetHost(static_cast<HostId>(h)).reserved_bytes(),
+              manager.GetHost(static_cast<HostId>(h)).capacity_bytes());
+  }
+  // Location/membership coherence.
+  for (size_t v = 0; v < manager.num_vms(); ++v) {
+    const VmSlot& vm = manager.GetVm(static_cast<VmId>(v));
+    EXPECT_TRUE(manager.GetHost(vm.location).vms().count(vm.id));
+  }
+  // Delay distribution sanity.
+  if (m.transition_delay_s.count() > 0) {
+    EXPECT_GE(m.transition_delay_s.Min(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ManagerShapeTest,
+    ::testing::Values(ShapeParam{2, 4, 1, ConsolidationPolicy::kOnlyPartial},
+                      ShapeParam{5, 10, 2, ConsolidationPolicy::kDefault},
+                      ShapeParam{8, 12, 3, ConsolidationPolicy::kFullToPartial},
+                      ShapeParam{8, 12, 3, ConsolidationPolicy::kNewHome},
+                      ShapeParam{12, 6, 2, ConsolidationPolicy::kFullToPartial},
+                      ShapeParam{3, 30, 4, ConsolidationPolicy::kFullToPartial}),
+    [](const auto& suite_info) {
+      return std::string(ConsolidationPolicyName(suite_info.param.policy)) + "_" +
+             std::to_string(suite_info.param.homes) + "x" + std::to_string(suite_info.param.vms) + "_" +
+             std::to_string(suite_info.param.cons);
+    });
+
+TEST(ManagerScenarioTest, CpuCapBindsWhenConfiguredTight) {
+  // With no CPU over-subscription and 4-core hosts, a consolidation host may
+  // execute at most 4 active VMs even though 128 GiB fits 32 of them.
+  ClusterConfig config;
+  config.num_home_hosts = 2;
+  config.num_consolidation_hosts = 1;
+  config.vms_per_home = 6;
+  config.host_cores = 4;
+  config.cpu_overcommit = 1.0;
+  config.policy = ConsolidationPolicy::kFullToPartial;
+  TraceSet trace(12, UserDay{});
+  for (int u = 0; u < 12; ++u) {
+    for (int i = 0; i < kIntervalsPerDay; ++i) {
+      trace[static_cast<size_t>(u)].SetActive(i, true);
+    }
+  }
+  ClusterManager manager(config, trace);
+  ClusterMetrics m = manager.Run();
+  // 12 always-active VMs cannot be consolidated onto one 4-slot host, and a
+  // vacate is all-or-nothing per home: nothing moves.
+  EXPECT_EQ(m.full_migrations, 0u);
+  EXPECT_NEAR(m.EnergySavings(), 0.0, 0.08);
+  // The same cluster with the paper's 3x over-subscription consolidates.
+  config.cpu_overcommit = 3.0;
+  ClusterManager relaxed(config, trace);
+  EXPECT_GT(relaxed.Run().full_migrations, 0u);
+}
+
+TEST(ManagerScenarioTest, OvercommitRaisesConsolidationCapacity) {
+  ClusterConfig tight;
+  tight.num_home_hosts = 4;
+  tight.num_consolidation_hosts = 1;
+  tight.vms_per_home = 10;
+  tight.host_memory_bytes = 44 * kGiB;
+  tight.policy = ConsolidationPolicy::kFullToPartial;
+  ClusterConfig loose = tight;
+  loose.memory_overcommit = 1.5;
+  TraceSet trace = IdleTrace(40);
+  for (int u = 0; u < 12; ++u) {
+    Activate(trace, u, IntervalAt(9.0), IntervalAt(17.0));
+  }
+  ClusterMetrics m_tight = ClusterManager(tight, trace).Run();
+  ClusterMetrics m_loose = ClusterManager(loose, trace).Run();
+  EXPECT_GE(m_loose.EnergySavings(), m_tight.EnergySavings());
+}
+
+}  // namespace
+}  // namespace oasis

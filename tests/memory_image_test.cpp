@@ -1,0 +1,127 @@
+#include "src/mem/memory_image.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+constexpr uint64_t kSmallVm = 64 * kMiB;  // 16384 pages: fast tests
+
+TEST(MemoryImageTest, StartsUntouched) {
+  MemoryImage img(kSmallVm, 1);
+  EXPECT_EQ(img.total_pages(), kSmallVm / kPageSize);
+  EXPECT_EQ(img.touched_pages(), 0u);
+  EXPECT_EQ(img.dirty_pages(), 0u);
+}
+
+TEST(MemoryImageTest, TouchNewPagesCountsExactly) {
+  MemoryImage img(kSmallVm, 1);
+  EXPECT_EQ(img.TouchNewPages(1000), 1000u);
+  EXPECT_EQ(img.touched_pages(), 1000u);
+  EXPECT_EQ(img.dirty_pages(), 1000u);  // new pages are dirty
+}
+
+TEST(MemoryImageTest, TouchClampsAtCapacity) {
+  MemoryImage img(4 * kMiB, 2);  // 1024 pages
+  EXPECT_EQ(img.TouchNewPages(2000), 1024u);
+  EXPECT_EQ(img.touched_pages(), 1024u);
+  EXPECT_EQ(img.TouchNewPages(10), 0u);
+}
+
+TEST(MemoryImageTest, TouchBytesRoundsToPages) {
+  MemoryImage img(kSmallVm, 3);
+  EXPECT_EQ(img.TouchNewBytes(10 * kMiB), 10 * kMiB);
+  EXPECT_EQ(img.touched_bytes(), 10 * kMiB);
+}
+
+TEST(MemoryImageTest, UploadEpochClearsDirty) {
+  MemoryImage img(kSmallVm, 4);
+  img.TouchNewPages(500);
+  EXPECT_EQ(img.BeginUploadEpoch(), 500u);
+  EXPECT_EQ(img.dirty_pages(), 0u);
+  EXPECT_EQ(img.touched_pages(), 500u);  // touched persists
+  EXPECT_EQ(img.BeginUploadEpoch(), 0u);
+}
+
+TEST(MemoryImageTest, DirtyTouchedPagesOnlyMarksTouched) {
+  MemoryImage img(kSmallVm, 5);
+  img.TouchNewPages(100);
+  img.BeginUploadEpoch();
+  EXPECT_EQ(img.DirtyTouchedPages(50), 50u);
+  EXPECT_EQ(img.dirty_pages(), 50u);
+  // Cannot dirty more distinct pages than are touched.
+  EXPECT_EQ(img.DirtyTouchedPages(1000), 50u);
+  EXPECT_EQ(img.dirty_pages(), 100u);
+}
+
+TEST(MemoryImageTest, DirtyOnEmptyImageIsZero) {
+  MemoryImage img(kSmallVm, 6);
+  EXPECT_EQ(img.DirtyTouchedPages(10), 0u);
+}
+
+TEST(MemoryImageTest, DifferentialUploadSmallerThanFull) {
+  MemoryImage img(kSmallVm, 7);
+  img.TouchNewPages(4000);
+  img.BeginUploadEpoch();
+  img.DirtyTouchedPages(300);
+  uint64_t differential = img.dirty_pages();
+  EXPECT_EQ(differential, 300u);
+  EXPECT_LT(img.CompressedBytesFor(differential), img.CompressedTouchedBytes());
+}
+
+TEST(MemoryImageTest, CompressedSizeReflectsRealCompressor) {
+  MemoryImage img(kSmallVm, 8);
+  img.TouchNewPages(1000);
+  uint64_t compressed = img.CompressedTouchedBytes();
+  // The default mix compresses to well under raw size but far above zero.
+  EXPECT_LT(compressed, 1000 * kPageSize);
+  EXPECT_GT(compressed, 1000 * kPageSize / 10);
+}
+
+TEST(MemoryImageTest, DeterministicAcrossInstances) {
+  MemoryImage a(kSmallVm, 99);
+  MemoryImage b(kSmallVm, 99);
+  a.TouchNewPages(123);
+  b.TouchNewPages(123);
+  EXPECT_EQ(a.touched_pages(), b.touched_pages());
+  EXPECT_EQ(a.CompressedTouchedBytes(), b.CompressedTouchedBytes());
+}
+
+TEST(CompressedSizeModelTest, DefaultIsSingleton) {
+  const CompressedSizeModel& m1 = CompressedSizeModel::Default();
+  const CompressedSizeModel& m2 = CompressedSizeModel::Default();
+  EXPECT_EQ(&m1, &m2);
+}
+
+TEST(CompressedSizeModelTest, PerClassSizesOrdered) {
+  const CompressedSizeModel& m = CompressedSizeModel::Default();
+  EXPECT_LT(m.MeanCompressedPageSize(PageClass::kZero),
+            m.MeanCompressedPageSize(PageClass::kText));
+  EXPECT_LT(m.MeanCompressedPageSize(PageClass::kText),
+            m.MeanCompressedPageSize(PageClass::kCode));
+  EXPECT_LT(m.MeanCompressedPageSize(PageClass::kCode),
+            m.MeanCompressedPageSize(PageClass::kRandom));
+}
+
+TEST(CompressedSizeModelTest, ExpectedBytesScalesLinearly) {
+  const CompressedSizeModel& m = CompressedSizeModel::Default();
+  PageClassMix mix;
+  uint64_t one = m.ExpectedCompressedBytes(1000, mix);
+  uint64_t two = m.ExpectedCompressedBytes(2000, mix);
+  EXPECT_NEAR(static_cast<double>(two), 2.0 * static_cast<double>(one),
+              static_cast<double>(one) * 0.01);
+}
+
+TEST(CompressedSizeModelTest, OverallRatioInCalibratedBand) {
+  // The Fig 5 upload latencies depend on the mixed-page compression ratio
+  // landing in a realistic band (LZO on desktop RAM is ~0.4-0.6).
+  const CompressedSizeModel& m = CompressedSizeModel::Default();
+  PageClassMix mix;
+  double ratio = static_cast<double>(m.ExpectedCompressedBytes(1000, mix)) /
+                 static_cast<double>(1000 * kPageSize);
+  EXPECT_GT(ratio, 0.25);
+  EXPECT_LT(ratio, 0.65);
+}
+
+}  // namespace
+}  // namespace oasis

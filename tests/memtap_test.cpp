@@ -1,0 +1,94 @@
+// memtap demand-paging behaviour and the Fig 6 app-startup model.
+
+#include "src/hyper/memtap.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+constexpr uint64_t kVmPages = (4 * kGiB) / kPageSize;
+
+TEST(MemtapTest, FaultInFetchesFromServer) {
+  MemoryServer server;
+  server.Upload(SimTime::Zero(), 1, 100 * kMiB);
+  Memtap memtap(&server, 1, kVmPages, 7);
+  StatusOr<SimTime> latency = memtap.FaultIn(SimTime::Zero(), 42);
+  ASSERT_TRUE(latency.ok());
+  EXPECT_GT(*latency, SimTime::Zero());
+  EXPECT_EQ(memtap.pages_fetched(), 1u);
+  EXPECT_EQ(memtap.bytes_fetched(), kPageSize);
+}
+
+TEST(MemtapTest, FaultOnMissingImageFails) {
+  MemoryServer server;
+  Memtap memtap(&server, 1, kVmPages, 7);
+  EXPECT_FALSE(memtap.FaultIn(SimTime::Zero(), 0).ok());
+}
+
+TEST(MemtapTest, ManyFaultsAccumulateLatency) {
+  MemoryServer server;
+  server.Upload(SimTime::Zero(), 1, 100 * kMiB);
+  Memtap memtap(&server, 1, kVmPages, 7);
+  StatusOr<SimTime> total = memtap.FaultInMany(SimTime::Zero(), 1000, 0.1);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(memtap.pages_fetched(), 1000u);
+  // ~5 ms per mostly-missing fault.
+  EXPECT_GT(total->seconds(), 2.0);
+  EXPECT_LT(total->seconds(), 8.0);
+}
+
+TEST(MemtapTest, LocalityReducesTotalStall) {
+  MemoryServer s1;
+  MemoryServer s2;
+  s1.Upload(SimTime::Zero(), 1, 100 * kMiB);
+  s2.Upload(SimTime::Zero(), 1, 100 * kMiB);
+  Memtap scattered(&s1, 1, kVmPages, 7);
+  Memtap local(&s2, 1, kVmPages, 7);
+  StatusOr<SimTime> t_scattered = scattered.FaultInMany(SimTime::Zero(), 2000, 0.0);
+  StatusOr<SimTime> t_local = local.FaultInMany(SimTime::Zero(), 2000, 0.9);
+  ASSERT_TRUE(t_scattered.ok());
+  ASSERT_TRUE(t_local.ok());
+  EXPECT_LT(t_local->seconds(), t_scattered->seconds() * 0.5);
+}
+
+TEST(Figure6Test, LibreOfficeStartupNearPaper168Seconds) {
+  // §4.4.4: starting a LibreOffice document in a partial VM takes ~168 s
+  // vs ~1.5 s in a full VM — up to 111x slower.
+  MemoryServer server;
+  server.Upload(SimTime::Zero(), 1, 1306 * kMiB);
+  Memtap memtap(&server, 1, kVmPages, 3);
+  AppStartupProfile libreoffice{"LibreOffice (document)", 131 * kMiB, SimTime::Seconds(1.5)};
+  StatusOr<SimTime> partial = SimulatePartialVmAppStart(libreoffice, memtap, SimTime::Zero());
+  ASSERT_TRUE(partial.ok());
+  EXPECT_NEAR(partial->seconds(), 168.0, 30.0);
+  double slowdown = partial->seconds() / libreoffice.full_vm_startup.seconds();
+  EXPECT_GT(slowdown, 60.0);
+  EXPECT_LT(slowdown, 140.0);
+}
+
+TEST(Figure6Test, EveryAppIsSlowerInPartialVm) {
+  MemoryServer server;
+  server.Upload(SimTime::Zero(), 1, 1306 * kMiB);
+  for (const AppStartupProfile& app : Figure6Applications()) {
+    Memtap memtap(&server, 1, kVmPages, app.startup_working_set);
+    StatusOr<SimTime> partial = SimulatePartialVmAppStart(app, memtap, SimTime::Zero());
+    ASSERT_TRUE(partial.ok()) << app.name;
+    EXPECT_GT(*partial, app.full_vm_startup * 5.0) << app.name;
+  }
+}
+
+TEST(Figure6Test, SlowdownMotivatesConversionPolicy) {
+  // §4.4.4's conclusion: partial start-up dwarfs even a full 41 s
+  // migration, so active partial VMs must convert to full VMs.
+  MemoryServer server;
+  server.Upload(SimTime::Zero(), 1, 1306 * kMiB);
+  Memtap memtap(&server, 1, kVmPages, 5);
+  AppStartupProfile libreoffice{"LibreOffice (document)", 131 * kMiB, SimTime::Seconds(1.5)};
+  StatusOr<SimTime> partial = SimulatePartialVmAppStart(libreoffice, memtap, SimTime::Zero());
+  ASSERT_TRUE(partial.ok());
+  EXPECT_GT(partial->seconds(), 41.0);
+}
+
+}  // namespace
+}  // namespace oasis

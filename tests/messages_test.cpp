@@ -1,0 +1,90 @@
+#include "src/ctrl/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& message) {
+  std::string line = EncodeMessage(message);
+  StatusOr<ControlMessage> decoded = DecodeMessage(line);
+  EXPECT_TRUE(decoded.ok()) << line << ": " << decoded.status().ToString();
+  const T* out = std::get_if<T>(&*decoded);
+  EXPECT_NE(out, nullptr) << line;
+  return *out;
+}
+
+TEST(MessagesTest, CreateVmRoundTrip) {
+  CreateVmRequest request{"/configs/alice.cfg"};
+  EXPECT_EQ(RoundTrip(request).config_path, request.config_path);
+  CreateVmResponse response{"0042", 7};
+  CreateVmResponse out = RoundTrip(response);
+  EXPECT_EQ(out.vmid, "0042");
+  EXPECT_EQ(out.host, 7u);
+}
+
+TEST(MessagesTest, MigrateRoundTripBothTypes) {
+  for (MigrationType type : {MigrationType::kFull, MigrationType::kPartial}) {
+    MigrateCommand command{"0007", type, 31};
+    MigrateCommand out = RoundTrip(command);
+    EXPECT_EQ(out.vmid, "0007");
+    EXPECT_EQ(out.type, type);
+    EXPECT_EQ(out.destination, 31u);
+  }
+}
+
+TEST(MessagesTest, HostCommandsRoundTrip) {
+  EXPECT_EQ(RoundTrip(SuspendHostCommand{5}).host, 5u);
+  EXPECT_EQ(RoundTrip(WakeHostCommand{9}).host, 9u);
+  EXPECT_NO_THROW(RoundTrip(StatsRequest{}));
+}
+
+TEST(MessagesTest, StatsReportRoundTripWithVms) {
+  HostStatsReport report;
+  report.host = 3;
+  report.memory_utilization = 0.75;
+  report.cpu_utilization = 0.33;
+  report.io_utilization = 0.1;
+  report.vms.push_back({"0001", 4 * kGiB, 0.5, 8.8});
+  report.vms.push_back({"0002", 2 * kGiB, 0.1, 1.2});
+  HostStatsReport out = RoundTrip(report);
+  EXPECT_EQ(out.host, 3u);
+  EXPECT_NEAR(out.memory_utilization, 0.75, 1e-6);
+  ASSERT_EQ(out.vms.size(), 2u);
+  EXPECT_EQ(out.vms[0].vmid, "0001");
+  EXPECT_EQ(out.vms[0].memory_bytes, 4 * kGiB);
+  EXPECT_NEAR(out.vms[1].dirty_mib_per_min, 1.2, 1e-6);
+}
+
+TEST(MessagesTest, AckRoundTrip) {
+  AckResponse ack{true, "done"};
+  AckResponse out = RoundTrip(ack);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.detail, "done");
+}
+
+TEST(MessagesTest, EscapesWireMetacharacters) {
+  CreateVmRequest request{"weird|path=with%stuff\nand newline"};
+  EXPECT_EQ(RoundTrip(request).config_path, request.config_path);
+}
+
+TEST(MessagesTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeMessage("").ok());
+  EXPECT_FALSE(DecodeMessage("BOGUS_TYPE|x=1").ok());
+  EXPECT_FALSE(DecodeMessage("MIGRATE|vmid=0001").ok());           // missing fields
+  EXPECT_FALSE(DecodeMessage("MIGRATE|vmid=1|type=warp|dest=2").ok());
+  EXPECT_FALSE(DecodeMessage("CREATE_VM|noequals").ok());
+  EXPECT_FALSE(DecodeMessage("HOST_STATS|host=1|mem=0|cpu=0|io=0|vm=brokenstats").ok());
+}
+
+TEST(MessagesTest, TypeNames) {
+  EXPECT_EQ(MessageTypeName(ControlMessage(MigrateCommand{})), "MIGRATE");
+  EXPECT_EQ(MessageTypeName(ControlMessage(HostStatsReport{})), "HOST_STATS");
+  EXPECT_EQ(MessageTypeName(ControlMessage(StatsRequest{})), "STATS_REQ");
+  EXPECT_STREQ(MigrationTypeName(MigrationType::kFull), "full");
+  EXPECT_STREQ(MigrationTypeName(MigrationType::kPartial), "partial");
+}
+
+}  // namespace
+}  // namespace oasis

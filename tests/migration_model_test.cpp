@@ -1,0 +1,113 @@
+// Verifies that the migration model reproduces the §4.4.2 micro-benchmark
+// latencies (Fig 5) from first principles: workload priming, real
+// compression ratios, and the measured channel bandwidths.
+
+#include "src/hyper/migration_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hyper/workloads.h"
+
+namespace oasis {
+namespace {
+
+Vm PrimedVm() {
+  VmConfig config;
+  config.memory_bytes = 4 * kGiB;
+  config.seed = 42;
+  Vm vm(config);
+  ApplyWorkload(vm, BaseSystemFootprint());
+  ApplyWorkload(vm, DesktopWorkload1());
+  ApplyWorkload(vm, IdleBackgroundChurn(SimTime::Minutes(5)));
+  return vm;
+}
+
+TEST(MigrationModelTest, FullMigrationMatchesPaper41Seconds) {
+  // §4.4.2: fully migrating the 4 GiB VM over GigE takes ~41 s.
+  MigrationModel model;
+  FullMigrationPlan plan = model.PlanFullMigration(4 * kGiB);
+  EXPECT_EQ(plan.bytes, 4 * kGiB);
+  EXPECT_NEAR(plan.duration.seconds(), 41.0, 0.5);
+}
+
+TEST(MigrationModelTest, FirstPartialMigrationNearPaper15point7Seconds) {
+  // §4.4.2: 15.7 s total = ~10.2 s memory upload + ~5.2 s descriptor push.
+  MigrationModel model;
+  Vm vm = PrimedVm();
+  PartialMigrationPlan plan = model.ExecutePartialMigration(vm, /*differential=*/false);
+  EXPECT_FALSE(plan.differential);
+  EXPECT_NEAR(plan.upload_time.seconds(), 10.2, 1.5);
+  EXPECT_NEAR(plan.descriptor_time.seconds(), 5.2, 0.2);
+  EXPECT_NEAR(plan.total.seconds(), 15.7, 1.6);
+}
+
+TEST(MigrationModelTest, DifferentialUploadNearPaper2point2Seconds) {
+  // After reintegration + Workload 2 + idle churn, only the delta uploads:
+  // §4.4.2 measures ~2.2 s, for a ~7.2 s second partial migration.
+  MigrationModel model;
+  Vm vm = PrimedVm();
+  model.ExecutePartialMigration(vm, /*differential=*/false);
+  // Dirty state from running on the consolidation host (~175 MiB, §4.4.3)…
+  vm.image().DirtyTouchedPages(MiBToBytes(175.3) / kPageSize);
+  // …plus Workload 2 and another idle wait.
+  ApplyWorkload(vm, DesktopWorkload2());
+  ApplyWorkload(vm, IdleBackgroundChurn(SimTime::Minutes(5)));
+  PartialMigrationPlan plan = model.ExecutePartialMigration(vm, /*differential=*/true);
+  EXPECT_TRUE(plan.differential);
+  EXPECT_NEAR(plan.upload_time.seconds(), 2.2, 0.8);
+  EXPECT_NEAR(plan.total.seconds(), 7.2, 0.9);
+}
+
+TEST(MigrationModelTest, PartialBeatsFullMigration) {
+  MigrationModel model;
+  Vm vm = PrimedVm();
+  PartialMigrationPlan partial = model.ExecutePartialMigration(vm, false);
+  FullMigrationPlan full = model.PlanFullMigration(vm.config().memory_bytes);
+  EXPECT_LT(partial.total, full.duration);
+}
+
+TEST(MigrationModelTest, ReintegrationNearPaper3point7Seconds) {
+  // §4.4.2: reintegration averages 3.7 s while moving ~175 MiB of dirty state.
+  MigrationModel model;
+  ReintegrationPlan plan = model.PlanReintegration(MiBToBytes(175.3));
+  EXPECT_NEAR(plan.duration.seconds(), 3.7, 0.3);
+}
+
+TEST(MigrationModelTest, ReintegrationScalesWithDirtyBytes) {
+  MigrationModel model;
+  SimTime small = model.PlanReintegration(10 * kMiB).duration;
+  SimTime large = model.PlanReintegration(400 * kMiB).duration;
+  EXPECT_LT(small, large);
+  // Fixed overhead dominates tiny reintegrations.
+  EXPECT_GT(small.seconds(), 2.0);
+}
+
+TEST(MigrationModelTest, UploadConsumesDirtySet) {
+  MigrationModel model;
+  Vm vm = PrimedVm();
+  model.ExecutePartialMigration(vm, false);
+  EXPECT_EQ(vm.image().dirty_pages(), 0u);
+  // With nothing dirtied since, a differential upload is almost free.
+  PartialMigrationPlan plan = model.ExecutePartialMigration(vm, true);
+  EXPECT_EQ(plan.upload_pages, 0u);
+  EXPECT_NEAR(plan.total.seconds(), plan.descriptor_time.seconds(), 1e-9);
+}
+
+TEST(MigrationModelTest, CompressionShrinksUpload) {
+  MigrationModel model;
+  Vm vm = PrimedVm();
+  PartialMigrationPlan plan = model.ExecutePartialMigration(vm, false);
+  EXPECT_LT(plan.upload_bytes_compressed, plan.upload_bytes_raw);
+  EXPECT_GT(plan.upload_bytes_compressed, plan.upload_bytes_raw / 10);
+}
+
+TEST(MigrationModelTest, ClusterTimingConfigMatchesSection51) {
+  // §5.1 assumes 10 s for a 4 GiB full migration over 10 GigE.
+  MigrationTimingConfig cluster;
+  cluster.live_migration_bytes_per_sec = kLiveMigrationBytesPerSec;
+  MigrationModel model(cluster);
+  EXPECT_NEAR(model.PlanFullMigration(4 * kGiB).duration.seconds(), 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace oasis

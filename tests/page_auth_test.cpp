@@ -1,0 +1,111 @@
+#include "src/hyper/page_auth.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+TEST(SipHashTest, KnownTestVector) {
+  // The reference SipHash-2-4 test vector: key 000102...0f over the message
+  // 00 01 02 ... 3e yields a well-known table; spot-check the empty input.
+  AuthKey key{0x0706050403020100ull, 0x0F0E0D0C0B0A0908ull};
+  EXPECT_EQ(SipHash24(key, nullptr, 0), 0x726FDB47DD0E0E31ull);
+  uint8_t one = 0x00;
+  EXPECT_EQ(SipHash24(key, &one, 1), 0x74F839C593DC67FDull);
+}
+
+TEST(SipHashTest, KeySensitivity) {
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  EXPECT_NE(SipHash24(AuthKey{1, 2}, data), SipHash24(AuthKey{1, 3}, data));
+  EXPECT_NE(SipHash24(AuthKey{1, 2}, data), SipHash24(AuthKey{2, 2}, data));
+}
+
+TEST(SipHashTest, MessageSensitivityAcrossLengths) {
+  AuthKey key{42, 43};
+  std::vector<uint8_t> data(64, 0);
+  uint64_t prev = SipHash24(key, data.data(), 0);
+  for (size_t len = 1; len <= 64; ++len) {
+    uint64_t h = SipHash24(key, data.data(), len);
+    EXPECT_NE(h, prev) << "length " << len;
+    prev = h;
+  }
+}
+
+TEST(KeyAuthorityTest, PerVmKeysAreDistinctAndStable) {
+  KeyAuthority authority(0xDEADBEEF);
+  AuthKey a1 = authority.IssueKey(1);
+  AuthKey a2 = authority.IssueKey(2);
+  EXPECT_NE(a1.k0, a2.k0);
+  EXPECT_EQ(a1, authority.IssueKey(1));
+  KeyAuthority other(0xFEEDFACE);
+  EXPECT_FALSE(a1 == other.IssueKey(1));
+}
+
+class PageAuthTest : public ::testing::Test {
+ protected:
+  PageAuthTest() : authority_(0x5EC12E7), server_(&authority_) {
+    server_.AdmitVm(7);
+  }
+
+  KeyAuthority authority_;
+  AuthenticatedServer server_;
+};
+
+TEST_F(PageAuthTest, HonestExchangeSucceeds) {
+  AuthenticatedClient client(7, authority_.IssueKey(7));
+  AuthenticatedPageRequest request = client.MakeRequest(12345);
+  ASSERT_TRUE(server_.VerifyRequest(request).ok());
+  PageBytes payload(kPageSize, 0xAB);
+  AuthenticatedPageResponse response = server_.MakeResponse(7, 12345, payload);
+  EXPECT_TRUE(client.VerifyResponse(response).ok());
+  EXPECT_EQ(server_.rejected_requests(), 0u);
+}
+
+TEST_F(PageAuthTest, RogueLanHostIsRejected) {
+  // §4.3: "local area hosts can access VM memory by requesting pages from
+  // the memory server" — unless requests must be authenticated.
+  AuthenticatedClient rogue(7, AuthKey{1234, 5678});  // wrong key
+  EXPECT_FALSE(server_.VerifyRequest(rogue.MakeRequest(0)).ok());
+  EXPECT_EQ(server_.rejected_requests(), 1u);
+}
+
+TEST_F(PageAuthTest, UnknownVmIsRejected) {
+  AuthenticatedClient client(9, authority_.IssueKey(9));
+  EXPECT_FALSE(server_.VerifyRequest(client.MakeRequest(0)).ok());
+}
+
+TEST_F(PageAuthTest, ReplayedRequestIsRejected) {
+  AuthenticatedClient client(7, authority_.IssueKey(7));
+  AuthenticatedPageRequest request = client.MakeRequest(1);
+  ASSERT_TRUE(server_.VerifyRequest(request).ok());
+  Status replay = server_.VerifyRequest(request);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PageAuthTest, TamperedFieldsAreRejected) {
+  AuthenticatedClient client(7, authority_.IssueKey(7));
+  AuthenticatedPageRequest request = client.MakeRequest(100);
+  request.page_number = 200;  // redirect the request to another page
+  EXPECT_FALSE(server_.VerifyRequest(request).ok());
+}
+
+TEST_F(PageAuthTest, TamperedPayloadIsDetected) {
+  AuthenticatedClient client(7, authority_.IssueKey(7));
+  PageBytes payload(kPageSize, 0x11);
+  AuthenticatedPageResponse response = server_.MakeResponse(7, 5, payload);
+  response.payload[100] ^= 0xFF;
+  EXPECT_FALSE(client.VerifyResponse(response).ok());
+  AuthenticatedPageResponse renumbered = server_.MakeResponse(7, 5, payload);
+  renumbered.page_number = 6;
+  EXPECT_FALSE(client.VerifyResponse(renumbered).ok());
+}
+
+TEST_F(PageAuthTest, EvictionInvalidatesAccess) {
+  AuthenticatedClient client(7, authority_.IssueKey(7));
+  server_.EvictVm(7);
+  EXPECT_FALSE(server_.VerifyRequest(client.MakeRequest(0)).ok());
+}
+
+}  // namespace
+}  // namespace oasis

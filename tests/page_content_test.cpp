@@ -1,0 +1,90 @@
+#include "src/mem/page_content.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+TEST(PageContentTest, DeterministicPerPage) {
+  PageContentGenerator gen(42);
+  EXPECT_EQ(gen.Generate(7), gen.Generate(7));
+  EXPECT_EQ(gen.ClassOf(7), gen.ClassOf(7));
+}
+
+TEST(PageContentTest, DifferentVmsDiffer) {
+  PageContentGenerator a(1);
+  PageContentGenerator b(2);
+  int identical = 0;
+  for (uint64_t p = 0; p < 50; ++p) {
+    if (a.Generate(p) == b.Generate(p)) {
+      ++identical;
+    }
+  }
+  // Only zero pages can coincide across VMs.
+  EXPECT_LT(identical, 25);
+}
+
+TEST(PageContentTest, VersionChangesContent) {
+  PageContentGenerator gen(3);
+  // Find a non-zero page.
+  for (uint64_t p = 0; p < 100; ++p) {
+    if (gen.ClassOf(p) != PageClass::kZero) {
+      EXPECT_NE(gen.Generate(p, 0), gen.Generate(p, 1)) << "page " << p;
+      return;
+    }
+  }
+  FAIL() << "no non-zero page found in first 100";
+}
+
+TEST(PageContentTest, PageSizeIsAlways4KiB) {
+  PageContentGenerator gen(5);
+  for (uint64_t p = 0; p < 20; ++p) {
+    EXPECT_EQ(gen.Generate(p).size(), kPageSize);
+  }
+}
+
+TEST(PageContentTest, ZeroPagesAreAllZero) {
+  PageContentGenerator gen(9);
+  for (uint64_t p = 0; p < 200; ++p) {
+    if (gen.ClassOf(p) == PageClass::kZero) {
+      PageBytes page = gen.Generate(p);
+      for (uint8_t byte : page) {
+        ASSERT_EQ(byte, 0);
+      }
+      return;
+    }
+  }
+  FAIL() << "no zero page found";
+}
+
+TEST(PageContentTest, ClassMixRoughlyMatchesConfiguration) {
+  PageClassMix mix;  // defaults: 0.18 / 0.34 / 0.30 / 0.18
+  PageContentGenerator gen(11, mix);
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 5000;
+  for (uint64_t p = 0; p < n; ++p) {
+    ++counts[static_cast<int>(gen.ClassOf(p))];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), mix.zero, 0.03);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), mix.text, 0.03);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), mix.code, 0.03);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), mix.random, 0.03);
+}
+
+TEST(PageContentTest, CustomMixAllText) {
+  PageClassMix mix{0.0, 1.0, 0.0, 0.0};
+  PageContentGenerator gen(13, mix);
+  for (uint64_t p = 0; p < 50; ++p) {
+    EXPECT_EQ(gen.ClassOf(p), PageClass::kText);
+  }
+}
+
+TEST(PageContentTest, ClassNames) {
+  EXPECT_STREQ(PageClassName(PageClass::kZero), "zero");
+  EXPECT_STREQ(PageClassName(PageClass::kText), "text");
+  EXPECT_STREQ(PageClassName(PageClass::kCode), "code");
+  EXPECT_STREQ(PageClassName(PageClass::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace oasis

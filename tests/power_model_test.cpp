@@ -1,0 +1,72 @@
+#include "src/power/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+TEST(PowerModelTest, Table1Defaults) {
+  HostPowerProfile p;
+  EXPECT_DOUBLE_EQ(p.idle_watts, 102.2);
+  EXPECT_DOUBLE_EQ(p.watts_at_20_vms, 137.9);
+  EXPECT_DOUBLE_EQ(p.sleep_watts, 12.9);
+  EXPECT_DOUBLE_EQ(p.suspend_watts, 138.2);
+  EXPECT_DOUBLE_EQ(p.resume_watts, 149.2);
+  EXPECT_EQ(p.suspend_latency, SimTime::Seconds(3.1));
+  EXPECT_EQ(p.resume_latency, SimTime::Seconds(2.3));
+}
+
+TEST(PowerModelTest, DrawPerState) {
+  HostPowerProfile p;
+  EXPECT_DOUBLE_EQ(p.Draw(HostPowerState::kPowered, 0), 102.2);
+  EXPECT_DOUBLE_EQ(p.Draw(HostPowerState::kPowered, 20), 137.9);
+  EXPECT_DOUBLE_EQ(p.Draw(HostPowerState::kSleeping, 0), 12.9);
+  EXPECT_DOUBLE_EQ(p.Draw(HostPowerState::kSuspending, 0), 138.2);
+  EXPECT_DOUBLE_EQ(p.Draw(HostPowerState::kResuming, 0), 149.2);
+}
+
+TEST(PowerModelTest, DrawSaturatesAtTwentyVms) {
+  HostPowerProfile p;
+  EXPECT_DOUBLE_EQ(p.Draw(HostPowerState::kPowered, 30), 137.9);
+  EXPECT_DOUBLE_EQ(p.Draw(HostPowerState::kPowered, 300), 137.9);
+}
+
+TEST(PowerModelTest, DrawIsLinearBelowSaturation) {
+  HostPowerProfile p;
+  double per_vm = p.PerVmWatts();
+  EXPECT_NEAR(per_vm, 1.785, 0.001);
+  EXPECT_DOUBLE_EQ(p.Draw(HostPowerState::kPowered, 10), 102.2 + 10 * per_vm);
+}
+
+TEST(PowerModelTest, SleepingHostPlusMemoryServerBeatsIdleHost) {
+  // The §4.4.1 observation that makes Oasis worthwhile at all: 12.9 + 42.2 =
+  // 55.1 W < 102.2 W idle.
+  HostPowerProfile host;
+  MemoryServerProfile ms;
+  EXPECT_DOUBLE_EQ(ms.TotalWatts(), 42.2);
+  EXPECT_LT(host.sleep_watts + ms.TotalWatts(), host.idle_watts);
+}
+
+TEST(PowerModelTest, MemoryServerComponents) {
+  MemoryServerProfile ms;
+  EXPECT_DOUBLE_EQ(ms.board_watts, 27.8);
+  EXPECT_DOUBLE_EQ(ms.drive_watts, 14.4);
+}
+
+TEST(PowerModelTest, HypotheticalMemoryServers) {
+  // Table 3 design points.
+  for (double w : {16.0, 8.0, 4.0, 2.0, 1.0}) {
+    MemoryServerProfile ms = MemoryServerProfile::WithPower(w);
+    EXPECT_DOUBLE_EQ(ms.TotalWatts(), w);
+  }
+}
+
+TEST(PowerModelTest, StateNames) {
+  EXPECT_STREQ(HostPowerStateName(HostPowerState::kPowered), "powered");
+  EXPECT_STREQ(HostPowerStateName(HostPowerState::kSleeping), "sleeping");
+  EXPECT_STREQ(HostPowerStateName(HostPowerState::kSuspending), "suspending");
+  EXPECT_STREQ(HostPowerStateName(HostPowerState::kResuming), "resuming");
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,115 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::Zero());
+  std::vector<double> times;
+  sim.ScheduleAfter(SimTime::Seconds(5), [&] { times.push_back(sim.now().seconds()); });
+  sim.ScheduleAfter(SimTime::Seconds(2), [&] { times.push_back(sim.now().seconds()); });
+  sim.RunToCompletion();
+  EXPECT_EQ(times, (std::vector<double>{2.0, 5.0}));
+  EXPECT_EQ(sim.now(), SimTime::Seconds(5));
+}
+
+TEST(SimulatorTest, EventsScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.ScheduleAfter(SimTime::Seconds(1), recurse);
+    }
+  };
+  sim.ScheduleAfter(SimTime::Seconds(1), recurse);
+  sim.RunToCompletion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::Seconds(5));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  bool late_ran = false;
+  bool on_time_ran = false;
+  sim.ScheduleAfter(SimTime::Seconds(1), [&] { on_time_ran = true; });
+  sim.ScheduleAfter(SimTime::Seconds(10), [&] { late_ran = true; });
+  sim.RunUntil(SimTime::Seconds(5));
+  EXPECT_TRUE(on_time_ran);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.now(), SimTime::Seconds(5));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilIncludesDeadlineEvents) {
+  Simulator sim;
+  bool ran = false;
+  sim.ScheduleAfter(SimTime::Seconds(5), [&] { ran = true; });
+  sim.RunUntil(SimTime::Seconds(5));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithNoEvents) {
+  Simulator sim;
+  sim.RunUntil(SimTime::Hours(24));
+  EXPECT_EQ(sim.now(), SimTime::Hours(24));
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.ScheduleAfter(SimTime::Seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunToCompletion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAfter(SimTime::Seconds(1), [&] { ++count; });
+  sim.ScheduleAfter(SimTime::Seconds(2), [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, PeriodicTaskFiresUntilCancelled) {
+  Simulator sim;
+  std::vector<double> fires;
+  auto handle = sim.SchedulePeriodic(SimTime::Seconds(1), SimTime::Seconds(2),
+                                     [&](SimTime t) { fires.push_back(t.seconds()); });
+  sim.ScheduleAfter(SimTime::Seconds(6), [&] { handle.Cancel(); });
+  sim.RunUntil(SimTime::Seconds(20));
+  EXPECT_EQ(fires, (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(SimulatorTest, PeriodicTaskCanCancelItself) {
+  Simulator sim;
+  int fires = 0;
+  Simulator::PeriodicHandle handle;
+  handle = sim.SchedulePeriodic(SimTime::Seconds(1), SimTime::Seconds(1), [&](SimTime) {
+    if (++fires == 3) {
+      handle.Cancel();
+    }
+  });
+  sim.RunUntil(SimTime::Seconds(100));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.ScheduleAt(SimTime::Seconds(42), [&] { seen = sim.now().seconds(); });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/csv.h"
+#include "src/common/table.h"
+
+namespace oasis {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"policy", "savings"});
+  t.AddRow({"FulltoPartial", "28%"});
+  t.AddRow({"OnlyPartial", "6%"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| policy        | savings |"), std::string::npos);
+  EXPECT_NE(out.find("| FulltoPartial | 28%     |"), std::string::npos);
+  EXPECT_NE(out.find("+---------------+---------+"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::Pct(0.281, 1), "28.1%");
+  EXPECT_EQ(TextTable::Pct(0.43), "43.0%");
+}
+
+TEST(TextTableTest, ExperimentHeader) {
+  std::ostringstream os;
+  PrintExperimentHeader(os, "Figure 8", "Energy savings");
+  std::string out = os.str();
+  EXPECT_NE(out.find("# Figure 8"), std::string::npos);
+  EXPECT_NE(out.find("Energy savings"), std::string::npos);
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  csv.WriteRow({"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace oasis

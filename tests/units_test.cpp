@@ -1,0 +1,81 @@
+#include "src/common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+TEST(SimTimeTest, ConstructionAndConversion) {
+  EXPECT_EQ(SimTime::Seconds(1.5).micros(), 1500000);
+  EXPECT_EQ(SimTime::Millis(2).micros(), 2000);
+  EXPECT_EQ(SimTime::Minutes(2).micros(), 120000000);
+  EXPECT_EQ(SimTime::Hours(1).micros(), 3600000000LL);
+  EXPECT_DOUBLE_EQ(SimTime::Seconds(2.5).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::Minutes(3).minutes(), 3.0);
+  EXPECT_DOUBLE_EQ(SimTime::Hours(0.5).hours(), 0.5);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime a = SimTime::Seconds(10);
+  SimTime b = SimTime::Seconds(4);
+  EXPECT_EQ((a + b).seconds(), 14.0);
+  EXPECT_EQ((a - b).seconds(), 6.0);
+  a += b;
+  EXPECT_EQ(a.seconds(), 14.0);
+  a -= b;
+  EXPECT_EQ(a.seconds(), 10.0);
+  EXPECT_DOUBLE_EQ((a * 2.5).seconds(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(SimTimeTest, Comparison) {
+  EXPECT_LT(SimTime::Seconds(1), SimTime::Seconds(2));
+  EXPECT_EQ(SimTime::Seconds(1), SimTime::Millis(1000));
+  EXPECT_GT(SimTime::Max(), SimTime::Hours(1000000));
+  EXPECT_EQ(SimTime::Zero().micros(), 0);
+}
+
+TEST(SimTimeTest, ClockStringWrapsAtMidnight) {
+  EXPECT_EQ(SimTime::Hours(0).ToClockString(), "00:00:00");
+  EXPECT_EQ(SimTime::Hours(14.5).ToClockString(), "14:30:00");
+  EXPECT_EQ(SimTime::Hours(25).ToClockString(), "01:00:00");
+  EXPECT_EQ((SimTime::Hours(23) + SimTime::Seconds(59 * 60 + 59)).ToClockString(),
+            "23:59:59");
+}
+
+TEST(BytesTest, Constants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024ull * 1024 * 1024);
+  EXPECT_EQ(kPageSize, 4096u);
+  EXPECT_EQ(kChunkSize, 2u * kMiB);
+  EXPECT_EQ(kPagesPerChunk, 512u);
+}
+
+TEST(BytesTest, Conversions) {
+  EXPECT_DOUBLE_EQ(ToMiB(512 * kKiB), 0.5);
+  EXPECT_DOUBLE_EQ(ToGiB(512 * kMiB), 0.5);
+  EXPECT_EQ(MiBToBytes(1.5), 1572864u);
+}
+
+TEST(BytesTest, Formatting) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(4 * kKiB), "4.0 KiB");
+  EXPECT_EQ(FormatBytes(static_cast<uint64_t>(37.6 * kMiB)), "37.6 MiB");
+  EXPECT_EQ(FormatBytes(4 * kGiB), "4.0 GiB");
+}
+
+TEST(EnergyTest, Conversions) {
+  EXPECT_DOUBLE_EQ(WattHours(1.0), 3600.0);
+  EXPECT_DOUBLE_EQ(ToWattHours(7200.0), 2.0);
+  EXPECT_DOUBLE_EQ(ToKWh(3.6e6), 1.0);
+}
+
+TEST(EnergyTest, EnergyOverSpan) {
+  // 100 W for one hour is 100 Wh.
+  EXPECT_DOUBLE_EQ(ToWattHours(EnergyOver(100.0, SimTime::Hours(1))), 100.0);
+  EXPECT_DOUBLE_EQ(EnergyOver(42.0, SimTime::Zero()), 0.0);
+}
+
+}  // namespace
+}  // namespace oasis

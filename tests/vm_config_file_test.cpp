@@ -1,0 +1,91 @@
+#include "src/ctrl/vm_config_file.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+constexpr char kGoodConfig[] = R"(# Alice's desktop
+vmid   = 0042
+disk   = nfs://storage/images/alice.img
+memory = 4096M
+vcpus  = 2
+device = net:bridge0
+device = vfb:vnc,port=5942
+)";
+
+TEST(VmConfigFileTest, ParsesCompleteConfig) {
+  StatusOr<VmConfigFile> config = ParseVmConfig(kGoodConfig);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->vmid, "0042");
+  EXPECT_EQ(config->VmidNumber(), 42u);
+  EXPECT_EQ(config->disk_image, "nfs://storage/images/alice.img");
+  EXPECT_EQ(config->memory_bytes, 4 * kGiB);
+  EXPECT_EQ(config->vcpus, 2);
+  ASSERT_EQ(config->devices.size(), 2u);
+  EXPECT_EQ(config->devices[0], "net:bridge0");
+}
+
+TEST(VmConfigFileTest, VcpusDefaultsToOne) {
+  StatusOr<VmConfigFile> config =
+      ParseVmConfig("vmid = 0001\ndisk = a.img\nmemory = 512M\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->vcpus, 1);
+  EXPECT_TRUE(config->devices.empty());
+}
+
+TEST(VmConfigFileTest, RejectsMissingFields) {
+  EXPECT_FALSE(ParseVmConfig("disk = a.img\nmemory = 1G\n").ok());       // no vmid
+  EXPECT_FALSE(ParseVmConfig("vmid = 0001\nmemory = 1G\n").ok());        // no disk
+  EXPECT_FALSE(ParseVmConfig("vmid = 0001\ndisk = a.img\n").ok());       // no memory
+}
+
+TEST(VmConfigFileTest, RejectsBadVmid) {
+  for (const char* bad : {"42", "00042", "12a4", "abcd", ""}) {
+    std::string text = std::string("vmid = ") + bad + "\ndisk = a.img\nmemory = 1G\n";
+    EXPECT_FALSE(ParseVmConfig(text).ok()) << "vmid '" << bad << "' accepted";
+  }
+}
+
+TEST(VmConfigFileTest, RejectsMalformedLines) {
+  StatusOr<VmConfigFile> r = ParseVmConfig("vmid 0001\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+  EXPECT_FALSE(ParseVmConfig("vmid = 0001\nfoo = bar\ndisk = a\nmemory = 1G\n").ok());
+  EXPECT_FALSE(ParseVmConfig("vmid =\ndisk = a\nmemory = 1G\n").ok());
+}
+
+TEST(VmConfigFileTest, RejectsBadVcpus) {
+  EXPECT_FALSE(
+      ParseVmConfig("vmid = 0001\ndisk = a\nmemory = 1G\nvcpus = 0\n").ok());
+  EXPECT_FALSE(
+      ParseVmConfig("vmid = 0001\ndisk = a\nmemory = 1G\nvcpus = 9999\n").ok());
+}
+
+TEST(VmConfigFileTest, RoundTrip) {
+  StatusOr<VmConfigFile> config = ParseVmConfig(kGoodConfig);
+  ASSERT_TRUE(config.ok());
+  StatusOr<VmConfigFile> again = ParseVmConfig(SerializeVmConfig(*config));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->vmid, config->vmid);
+  EXPECT_EQ(again->memory_bytes, config->memory_bytes);
+  EXPECT_EQ(again->devices, config->devices);
+}
+
+TEST(ParseMemorySizeTest, Suffixes) {
+  EXPECT_EQ(*ParseMemorySize("512K"), 512 * kKiB);
+  EXPECT_EQ(*ParseMemorySize("4096M"), 4 * kGiB);
+  EXPECT_EQ(*ParseMemorySize("4G"), 4 * kGiB);
+  EXPECT_EQ(*ParseMemorySize("4g"), 4 * kGiB);
+  EXPECT_EQ(*ParseMemorySize("1073741824"), 1 * kGiB);
+}
+
+TEST(ParseMemorySizeTest, Rejections) {
+  EXPECT_FALSE(ParseMemorySize("").ok());
+  EXPECT_FALSE(ParseMemorySize("G").ok());
+  EXPECT_FALSE(ParseMemorySize("12X").ok());
+  EXPECT_FALSE(ParseMemorySize("1.5G").ok());
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,84 @@
+#include "src/hyper/workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+TEST(WorkloadsTest, Workload1HasTable2Applications) {
+  Workload w = DesktopWorkload1();
+  EXPECT_EQ(w.name, "workload-1");
+  // Table 2: Thunderbird, Pidgin, LibreOffice, Evince, five Firefox sites.
+  EXPECT_EQ(w.steps.size(), 9u);
+  bool has_sunspider = false;
+  for (const auto& s : w.steps) {
+    if (s.application.find("SunSpider") != std::string::npos) {
+      has_sunspider = true;
+    }
+  }
+  EXPECT_TRUE(has_sunspider);
+}
+
+TEST(WorkloadsTest, Workload2AddsFourSitesThreeDocsOnePdf) {
+  Workload w = DesktopWorkload2();
+  EXPECT_EQ(w.steps.size(), 6u);
+}
+
+TEST(WorkloadsTest, TotalsSumSteps) {
+  Workload w{"t", {{"a", 10, 1}, {"b", 20, 2}}};
+  EXPECT_EQ(w.TotalNewBytes(), 30u);
+  EXPECT_EQ(w.TotalDirtyBytes(), 3u);
+}
+
+TEST(WorkloadsTest, ApplyTouchesImage) {
+  VmConfig config;
+  config.memory_bytes = 4 * kGiB;
+  config.seed = 1;
+  Vm vm(config);
+  ApplyWorkload(vm, BaseSystemFootprint());
+  uint64_t base = vm.image().touched_bytes();
+  EXPECT_EQ(base, BaseSystemFootprint().TotalNewBytes());
+  ApplyWorkload(vm, DesktopWorkload1());
+  EXPECT_EQ(vm.image().touched_bytes(), base + DesktopWorkload1().TotalNewBytes());
+}
+
+TEST(WorkloadsTest, PrimedVmTouchesRealisticFraction) {
+  // Boot + Workload 1 should leave a 4 GiB VM with most memory touched
+  // (the Fig 5 first upload pushes ~1.3 GiB compressed).
+  VmConfig config;
+  config.memory_bytes = 4 * kGiB;
+  config.seed = 2;
+  Vm vm(config);
+  ApplyWorkload(vm, BaseSystemFootprint());
+  ApplyWorkload(vm, DesktopWorkload1());
+  double fraction = static_cast<double>(vm.image().touched_bytes()) / (4.0 * kGiB);
+  EXPECT_GT(fraction, 0.5);
+  EXPECT_LT(fraction, 0.95);
+}
+
+TEST(WorkloadsTest, IdleChurnScalesWithDuration) {
+  Workload short_churn = IdleBackgroundChurn(SimTime::Minutes(5));
+  Workload long_churn = IdleBackgroundChurn(SimTime::Minutes(50));
+  EXPECT_NEAR(static_cast<double>(long_churn.TotalDirtyBytes()),
+              10.0 * static_cast<double>(short_churn.TotalDirtyBytes()),
+              static_cast<double>(short_churn.TotalDirtyBytes()) + 1.0);
+}
+
+TEST(WorkloadsTest, Figure6AppsCoverVdiMix) {
+  auto apps = Figure6Applications();
+  ASSERT_GE(apps.size(), 5u);
+  for (const auto& app : apps) {
+    EXPECT_GT(app.startup_working_set, 0u);
+    EXPECT_GT(app.full_vm_startup, SimTime::Zero());
+  }
+  bool has_libreoffice = false;
+  for (const auto& app : apps) {
+    if (app.name.find("LibreOffice") != std::string::npos) {
+      has_libreoffice = true;
+    }
+  }
+  EXPECT_TRUE(has_libreoffice);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overcommit.dir/ablation_overcommit.cpp.o"
+  "CMakeFiles/ablation_overcommit.dir/ablation_overcommit.cpp.o.d"
+  "ablation_overcommit"
+  "ablation_overcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

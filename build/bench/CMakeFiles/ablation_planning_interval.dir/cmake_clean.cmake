@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_planning_interval.dir/ablation_planning_interval.cpp.o"
+  "CMakeFiles/ablation_planning_interval.dir/ablation_planning_interval.cpp.o.d"
+  "ablation_planning_interval"
+  "ablation_planning_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_planning_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

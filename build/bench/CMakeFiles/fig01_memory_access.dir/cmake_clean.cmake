@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_memory_access.dir/fig01_memory_access.cpp.o"
+  "CMakeFiles/fig01_memory_access.dir/fig01_memory_access.cpp.o.d"
+  "fig01_memory_access"
+  "fig01_memory_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_memory_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

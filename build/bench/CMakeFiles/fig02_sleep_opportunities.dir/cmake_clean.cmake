@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_sleep_opportunities.dir/fig02_sleep_opportunities.cpp.o"
+  "CMakeFiles/fig02_sleep_opportunities.dir/fig02_sleep_opportunities.cpp.o.d"
+  "fig02_sleep_opportunities"
+  "fig02_sleep_opportunities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_sleep_opportunities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_app_startup.dir/fig06_app_startup.cpp.o"
+  "CMakeFiles/fig06_app_startup.dir/fig06_app_startup.cpp.o.d"
+  "fig06_app_startup"
+  "fig06_app_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_app_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

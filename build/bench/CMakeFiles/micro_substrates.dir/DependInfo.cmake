@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_substrates.cpp" "bench/CMakeFiles/micro_substrates.dir/micro_substrates.cpp.o" "gcc" "bench/CMakeFiles/micro_substrates.dir/micro_substrates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oasis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/oasis_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyper/CMakeFiles/oasis_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/oasis_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oasis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/oasis_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oasis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oasis_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oasis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_power_profiles.dir/table1_power_profiles.cpp.o"
+  "CMakeFiles/table1_power_profiles.dir/table1_power_profiles.cpp.o.d"
+  "table1_power_profiles"
+  "table1_power_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_power_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

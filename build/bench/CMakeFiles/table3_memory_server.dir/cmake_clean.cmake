@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_memory_server.dir/table3_memory_server.cpp.o"
+  "CMakeFiles/table3_memory_server.dir/table3_memory_server.cpp.o.d"
+  "table3_memory_server"
+  "table3_memory_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_memory_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_migration_demo.dir/partial_migration_demo.cpp.o"
+  "CMakeFiles/partial_migration_demo.dir/partial_migration_demo.cpp.o.d"
+  "partial_migration_demo"
+  "partial_migration_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_migration_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdi_farm_day.dir/vdi_farm_day.cpp.o"
+  "CMakeFiles/vdi_farm_day.dir/vdi_farm_day.cpp.o.d"
+  "vdi_farm_day"
+  "vdi_farm_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdi_farm_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_cluster.dir/cluster_types.cc.o"
+  "CMakeFiles/oasis_cluster.dir/cluster_types.cc.o.d"
+  "CMakeFiles/oasis_cluster.dir/host.cc.o"
+  "CMakeFiles/oasis_cluster.dir/host.cc.o.d"
+  "CMakeFiles/oasis_cluster.dir/idleness.cc.o"
+  "CMakeFiles/oasis_cluster.dir/idleness.cc.o.d"
+  "CMakeFiles/oasis_cluster.dir/manager.cc.o"
+  "CMakeFiles/oasis_cluster.dir/manager.cc.o.d"
+  "liboasis_cluster.a"
+  "liboasis_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboasis_cluster.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_common.dir/csv.cc.o"
+  "CMakeFiles/oasis_common.dir/csv.cc.o.d"
+  "CMakeFiles/oasis_common.dir/log.cc.o"
+  "CMakeFiles/oasis_common.dir/log.cc.o.d"
+  "CMakeFiles/oasis_common.dir/rng.cc.o"
+  "CMakeFiles/oasis_common.dir/rng.cc.o.d"
+  "CMakeFiles/oasis_common.dir/stats.cc.o"
+  "CMakeFiles/oasis_common.dir/stats.cc.o.d"
+  "CMakeFiles/oasis_common.dir/status.cc.o"
+  "CMakeFiles/oasis_common.dir/status.cc.o.d"
+  "CMakeFiles/oasis_common.dir/table.cc.o"
+  "CMakeFiles/oasis_common.dir/table.cc.o.d"
+  "CMakeFiles/oasis_common.dir/units.cc.o"
+  "CMakeFiles/oasis_common.dir/units.cc.o.d"
+  "liboasis_common.a"
+  "liboasis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

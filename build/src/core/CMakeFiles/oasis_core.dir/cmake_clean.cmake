@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_core.dir/oasis.cc.o"
+  "CMakeFiles/oasis_core.dir/oasis.cc.o.d"
+  "liboasis_core.a"
+  "liboasis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

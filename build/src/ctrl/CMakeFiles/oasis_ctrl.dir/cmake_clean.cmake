@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_ctrl.dir/controller.cc.o"
+  "CMakeFiles/oasis_ctrl.dir/controller.cc.o.d"
+  "CMakeFiles/oasis_ctrl.dir/host_agent.cc.o"
+  "CMakeFiles/oasis_ctrl.dir/host_agent.cc.o.d"
+  "CMakeFiles/oasis_ctrl.dir/messages.cc.o"
+  "CMakeFiles/oasis_ctrl.dir/messages.cc.o.d"
+  "CMakeFiles/oasis_ctrl.dir/rpc_bus.cc.o"
+  "CMakeFiles/oasis_ctrl.dir/rpc_bus.cc.o.d"
+  "CMakeFiles/oasis_ctrl.dir/vm_config_file.cc.o"
+  "CMakeFiles/oasis_ctrl.dir/vm_config_file.cc.o.d"
+  "liboasis_ctrl.a"
+  "liboasis_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

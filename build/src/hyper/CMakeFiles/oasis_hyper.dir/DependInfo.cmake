@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hyper/memory_server.cc" "src/hyper/CMakeFiles/oasis_hyper.dir/memory_server.cc.o" "gcc" "src/hyper/CMakeFiles/oasis_hyper.dir/memory_server.cc.o.d"
+  "/root/repo/src/hyper/memtap.cc" "src/hyper/CMakeFiles/oasis_hyper.dir/memtap.cc.o" "gcc" "src/hyper/CMakeFiles/oasis_hyper.dir/memtap.cc.o.d"
+  "/root/repo/src/hyper/migration_model.cc" "src/hyper/CMakeFiles/oasis_hyper.dir/migration_model.cc.o" "gcc" "src/hyper/CMakeFiles/oasis_hyper.dir/migration_model.cc.o.d"
+  "/root/repo/src/hyper/page_auth.cc" "src/hyper/CMakeFiles/oasis_hyper.dir/page_auth.cc.o" "gcc" "src/hyper/CMakeFiles/oasis_hyper.dir/page_auth.cc.o.d"
+  "/root/repo/src/hyper/precopy.cc" "src/hyper/CMakeFiles/oasis_hyper.dir/precopy.cc.o" "gcc" "src/hyper/CMakeFiles/oasis_hyper.dir/precopy.cc.o.d"
+  "/root/repo/src/hyper/vm.cc" "src/hyper/CMakeFiles/oasis_hyper.dir/vm.cc.o" "gcc" "src/hyper/CMakeFiles/oasis_hyper.dir/vm.cc.o.d"
+  "/root/repo/src/hyper/workloads.cc" "src/hyper/CMakeFiles/oasis_hyper.dir/workloads.cc.o" "gcc" "src/hyper/CMakeFiles/oasis_hyper.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oasis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/oasis_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oasis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/oasis_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oasis_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_hyper.dir/memory_server.cc.o"
+  "CMakeFiles/oasis_hyper.dir/memory_server.cc.o.d"
+  "CMakeFiles/oasis_hyper.dir/memtap.cc.o"
+  "CMakeFiles/oasis_hyper.dir/memtap.cc.o.d"
+  "CMakeFiles/oasis_hyper.dir/migration_model.cc.o"
+  "CMakeFiles/oasis_hyper.dir/migration_model.cc.o.d"
+  "CMakeFiles/oasis_hyper.dir/page_auth.cc.o"
+  "CMakeFiles/oasis_hyper.dir/page_auth.cc.o.d"
+  "CMakeFiles/oasis_hyper.dir/precopy.cc.o"
+  "CMakeFiles/oasis_hyper.dir/precopy.cc.o.d"
+  "CMakeFiles/oasis_hyper.dir/vm.cc.o"
+  "CMakeFiles/oasis_hyper.dir/vm.cc.o.d"
+  "CMakeFiles/oasis_hyper.dir/workloads.cc.o"
+  "CMakeFiles/oasis_hyper.dir/workloads.cc.o.d"
+  "liboasis_hyper.a"
+  "liboasis_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/access_generator.cc" "src/mem/CMakeFiles/oasis_mem.dir/access_generator.cc.o" "gcc" "src/mem/CMakeFiles/oasis_mem.dir/access_generator.cc.o.d"
+  "/root/repo/src/mem/bitmap.cc" "src/mem/CMakeFiles/oasis_mem.dir/bitmap.cc.o" "gcc" "src/mem/CMakeFiles/oasis_mem.dir/bitmap.cc.o.d"
+  "/root/repo/src/mem/compression.cc" "src/mem/CMakeFiles/oasis_mem.dir/compression.cc.o" "gcc" "src/mem/CMakeFiles/oasis_mem.dir/compression.cc.o.d"
+  "/root/repo/src/mem/dedup.cc" "src/mem/CMakeFiles/oasis_mem.dir/dedup.cc.o" "gcc" "src/mem/CMakeFiles/oasis_mem.dir/dedup.cc.o.d"
+  "/root/repo/src/mem/memory_image.cc" "src/mem/CMakeFiles/oasis_mem.dir/memory_image.cc.o" "gcc" "src/mem/CMakeFiles/oasis_mem.dir/memory_image.cc.o.d"
+  "/root/repo/src/mem/page_content.cc" "src/mem/CMakeFiles/oasis_mem.dir/page_content.cc.o" "gcc" "src/mem/CMakeFiles/oasis_mem.dir/page_content.cc.o.d"
+  "/root/repo/src/mem/working_set.cc" "src/mem/CMakeFiles/oasis_mem.dir/working_set.cc.o" "gcc" "src/mem/CMakeFiles/oasis_mem.dir/working_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oasis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

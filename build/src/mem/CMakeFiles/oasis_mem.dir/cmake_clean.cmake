@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_mem.dir/access_generator.cc.o"
+  "CMakeFiles/oasis_mem.dir/access_generator.cc.o.d"
+  "CMakeFiles/oasis_mem.dir/bitmap.cc.o"
+  "CMakeFiles/oasis_mem.dir/bitmap.cc.o.d"
+  "CMakeFiles/oasis_mem.dir/compression.cc.o"
+  "CMakeFiles/oasis_mem.dir/compression.cc.o.d"
+  "CMakeFiles/oasis_mem.dir/dedup.cc.o"
+  "CMakeFiles/oasis_mem.dir/dedup.cc.o.d"
+  "CMakeFiles/oasis_mem.dir/memory_image.cc.o"
+  "CMakeFiles/oasis_mem.dir/memory_image.cc.o.d"
+  "CMakeFiles/oasis_mem.dir/page_content.cc.o"
+  "CMakeFiles/oasis_mem.dir/page_content.cc.o.d"
+  "CMakeFiles/oasis_mem.dir/working_set.cc.o"
+  "CMakeFiles/oasis_mem.dir/working_set.cc.o.d"
+  "liboasis_mem.a"
+  "liboasis_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

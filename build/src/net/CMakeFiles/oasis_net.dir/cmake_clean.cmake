@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_net.dir/link.cc.o"
+  "CMakeFiles/oasis_net.dir/link.cc.o.d"
+  "CMakeFiles/oasis_net.dir/traffic.cc.o"
+  "CMakeFiles/oasis_net.dir/traffic.cc.o.d"
+  "liboasis_net.a"
+  "liboasis_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

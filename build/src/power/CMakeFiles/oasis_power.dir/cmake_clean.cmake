@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_power.dir/energy_meter.cc.o"
+  "CMakeFiles/oasis_power.dir/energy_meter.cc.o.d"
+  "CMakeFiles/oasis_power.dir/power_model.cc.o"
+  "CMakeFiles/oasis_power.dir/power_model.cc.o.d"
+  "liboasis_power.a"
+  "liboasis_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

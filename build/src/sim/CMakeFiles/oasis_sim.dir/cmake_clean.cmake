@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_sim.dir/event_queue.cc.o"
+  "CMakeFiles/oasis_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/oasis_sim.dir/simulator.cc.o"
+  "CMakeFiles/oasis_sim.dir/simulator.cc.o.d"
+  "liboasis_sim.a"
+  "liboasis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasis_trace.dir/activity_trace.cc.o"
+  "CMakeFiles/oasis_trace.dir/activity_trace.cc.o.d"
+  "CMakeFiles/oasis_trace.dir/trace_generator.cc.o"
+  "CMakeFiles/oasis_trace.dir/trace_generator.cc.o.d"
+  "CMakeFiles/oasis_trace.dir/trace_io.cc.o"
+  "CMakeFiles/oasis_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/oasis_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/oasis_trace.dir/trace_stats.cc.o.d"
+  "liboasis_trace.a"
+  "liboasis_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasis_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

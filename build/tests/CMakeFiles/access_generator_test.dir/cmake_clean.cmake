@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_generator_test.dir/access_generator_test.cpp.o"
+  "CMakeFiles/access_generator_test.dir/access_generator_test.cpp.o.d"
+  "access_generator_test"
+  "access_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

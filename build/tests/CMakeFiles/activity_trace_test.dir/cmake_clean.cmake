@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_trace_test.dir/activity_trace_test.cpp.o"
+  "CMakeFiles/activity_trace_test.dir/activity_trace_test.cpp.o.d"
+  "activity_trace_test"
+  "activity_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_fuzz_test.dir/compression_fuzz_test.cpp.o"
+  "CMakeFiles/compression_fuzz_test.dir/compression_fuzz_test.cpp.o.d"
+  "compression_fuzz_test"
+  "compression_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

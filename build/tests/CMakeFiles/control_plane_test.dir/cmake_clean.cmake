@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_plane_test.dir/control_plane_test.cpp.o"
+  "CMakeFiles/control_plane_test.dir/control_plane_test.cpp.o.d"
+  "control_plane_test"
+  "control_plane_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_plane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

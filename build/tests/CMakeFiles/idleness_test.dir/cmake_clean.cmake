@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idleness_test.dir/idleness_test.cpp.o"
+  "CMakeFiles/idleness_test.dir/idleness_test.cpp.o.d"
+  "idleness_test"
+  "idleness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idleness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

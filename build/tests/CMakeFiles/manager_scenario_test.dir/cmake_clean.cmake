@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_scenario_test.dir/manager_scenario_test.cpp.o"
+  "CMakeFiles/manager_scenario_test.dir/manager_scenario_test.cpp.o.d"
+  "manager_scenario_test"
+  "manager_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

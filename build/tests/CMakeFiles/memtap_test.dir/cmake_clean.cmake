@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtap_test.dir/memtap_test.cpp.o"
+  "CMakeFiles/memtap_test.dir/memtap_test.cpp.o.d"
+  "memtap_test"
+  "memtap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_auth_test.dir/page_auth_test.cpp.o"
+  "CMakeFiles/page_auth_test.dir/page_auth_test.cpp.o.d"
+  "page_auth_test"
+  "page_auth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

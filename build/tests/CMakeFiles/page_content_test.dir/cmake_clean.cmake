@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_content_test.dir/page_content_test.cpp.o"
+  "CMakeFiles/page_content_test.dir/page_content_test.cpp.o.d"
+  "page_content_test"
+  "page_content_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_content_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

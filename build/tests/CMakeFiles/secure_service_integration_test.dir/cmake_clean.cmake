@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_service_integration_test.dir/secure_service_integration_test.cpp.o"
+  "CMakeFiles/secure_service_integration_test.dir/secure_service_integration_test.cpp.o.d"
+  "secure_service_integration_test"
+  "secure_service_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_service_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

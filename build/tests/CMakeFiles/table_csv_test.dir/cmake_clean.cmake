@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_csv_test.dir/table_csv_test.cpp.o"
+  "CMakeFiles/table_csv_test.dir/table_csv_test.cpp.o.d"
+  "table_csv_test"
+  "table_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm_config_file_test.cpp" "tests/CMakeFiles/vm_config_file_test.dir/vm_config_file_test.cpp.o" "gcc" "tests/CMakeFiles/vm_config_file_test.dir/vm_config_file_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctrl/CMakeFiles/oasis_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyper/CMakeFiles/oasis_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/oasis_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oasis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/oasis_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oasis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oasis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

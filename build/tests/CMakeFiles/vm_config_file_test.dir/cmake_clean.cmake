@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_config_file_test.dir/vm_config_file_test.cpp.o"
+  "CMakeFiles/vm_config_file_test.dir/vm_config_file_test.cpp.o.d"
+  "vm_config_file_test"
+  "vm_config_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_config_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

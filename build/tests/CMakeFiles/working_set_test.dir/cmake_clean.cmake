@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_set_test.dir/working_set_test.cpp.o"
+  "CMakeFiles/working_set_test.dir/working_set_test.cpp.o.d"
+  "working_set_test"
+  "working_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -13,6 +13,7 @@
 #include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/mem/dedup.h"
+#include "src/obs/obs.h"
 
 namespace oasis {
 namespace {
@@ -62,6 +63,8 @@ void MemoryServerDedup() {
 }  // namespace oasis
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   int runs = std::max(1, BenchRuns() - 2);
   PrintExperimentHeader(std::cout, "Ablation - memory over-commitment and dedup",

@@ -10,6 +10,7 @@
 #include "src/hyper/memtap.h"
 #include "src/hyper/migration_model.h"
 #include "src/hyper/workloads.h"
+#include "src/obs/obs.h"
 
 namespace oasis {
 namespace {
@@ -33,6 +34,8 @@ double UploadSeconds(uint64_t bytes) {
 }  // namespace oasis
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout, "Ablation - memory upload optimizations (section 4.3)",
                         "Contribution of per-page compression and differential upload to "

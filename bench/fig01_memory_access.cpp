@@ -8,8 +8,11 @@
 
 #include "src/common/table.h"
 #include "src/mem/access_generator.h"
+#include "src/obs/obs.h"
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout, "Figure 1 - Memory access pattern of idle VMs",
                         "Cumulative unique MiB touched while idle (4 GiB allocation).");

@@ -12,8 +12,11 @@
 #include "src/common/table.h"
 #include "src/mem/access_generator.h"
 #include "src/power/power_model.h"
+#include "src/obs/obs.h"
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(
       std::cout, "Figure 2 - Sleep opportunities with 1 VM vs 10 VMs",

@@ -20,6 +20,7 @@
 #include "src/hyper/memtap.h"
 #include "src/hyper/migration_model.h"
 #include "src/hyper/workloads.h"
+#include "src/obs/obs.h"
 
 namespace oasis {
 namespace {
@@ -94,6 +95,8 @@ RunResult OneRun(uint64_t seed) {
 }  // namespace oasis
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout, "Figure 5 - Consolidation latencies for one VM",
                         "Average of 3 runs, 4 GiB desktop VM, GigE testbed + SAS memory "

@@ -14,8 +14,11 @@
 #include "src/hyper/memtap.h"
 #include "src/hyper/migration_model.h"
 #include "src/hyper/workloads.h"
+#include "src/obs/obs.h"
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout, "Figure 6 - Application start-up latency",
                         "Full VM vs partial VM (demand paging through the memory server).");

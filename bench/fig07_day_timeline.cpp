@@ -12,6 +12,7 @@
 #include "bench/bench_util.h"
 #include "src/common/csv.h"
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 
 namespace oasis {
 namespace {
@@ -64,6 +65,8 @@ void PrintDay(DayKind day) {
 }  // namespace oasis
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout,
                         "Figure 7 - Active VMs and powered hosts over a simulation day",

@@ -13,6 +13,7 @@
 #include "bench/bench_util.h"
 #include "src/common/csv.h"
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 
 namespace oasis {
 namespace {
@@ -49,6 +50,8 @@ void PrintPanel(DayKind day, int runs) {
 }  // namespace oasis
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   int runs = BenchRuns();
   PrintExperimentHeader(std::cout, "Figure 8 - Energy savings vs consolidation hosts",

@@ -10,8 +10,11 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout, "Figure 9 - CDF of consolidation ratio",
                         "VMs per powered consolidation host, 30 home + 4 consolidation "

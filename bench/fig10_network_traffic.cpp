@@ -9,8 +9,11 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout, "Figure 10 - Weekday data transfer breakdown",
                         "Per-policy network volume over one weekday, 30+4 cluster "

@@ -12,8 +12,11 @@
 #include "bench/bench_util.h"
 #include "src/common/csv.h"
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout, "Figure 11 - Idle->active transition delays",
                         "FulltoPartial, weekday, 30 home hosts; delay CDF vs number of "

@@ -10,8 +10,11 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   int runs = std::max(1, BenchRuns() - 2);
   PrintExperimentHeader(std::cout, "Figure 12 - Sensitivity to cluster shape",

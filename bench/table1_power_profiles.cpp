@@ -6,8 +6,11 @@
 #include "src/common/table.h"
 #include "src/power/energy_meter.h"
 #include "src/power/power_model.h"
+#include "src/obs/obs.h"
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout, "Table 1 - Energy profiles and S3 transition times",
                         "Model constants as measured on the paper's custom host.");

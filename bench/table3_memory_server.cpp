@@ -8,8 +8,11 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   int runs = BenchRuns();
   PrintExperimentHeader(std::cout, "Table 3 - Alternative memory server implementations",

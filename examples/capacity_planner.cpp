@@ -13,8 +13,11 @@
 
 #include "src/common/table.h"
 #include "src/core/oasis.h"
+#include "src/obs/obs.h"
 
 int main(int argc, char** argv) {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
 
   int home_hosts = argc > 1 ? std::atoi(argv[1]) : 30;

@@ -8,8 +8,11 @@
 #include "src/ctrl/controller.h"
 #include "src/ctrl/host_agent.h"
 #include "src/ctrl/rpc_bus.h"
+#include "src/obs/obs.h"
 
 int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
 
   RpcBus bus;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/core/oasis.h"
+#include "src/obs/obs.h"
 
 namespace {
 
@@ -29,6 +30,8 @@ oasis::ConsolidationPolicy ParsePolicy(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   oasis::SimulationConfig config;
   config.cluster.policy =
       ParsePolicy(argc > 1 ? argv[1] : "fulltopartial");

@@ -14,6 +14,7 @@
 #include "src/trace/trace_generator.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
+#include "src/obs/obs.h"
 
 namespace {
 
@@ -95,6 +96,8 @@ int Stats(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   if (argc < 2) {
     return Usage();
   }

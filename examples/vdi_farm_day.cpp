@@ -15,8 +15,11 @@
 #include "src/core/oasis.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
+#include "src/obs/obs.h"
 
 int main(int argc, char** argv) {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
   using namespace oasis;
 
   SimulationConfig config;

@@ -22,7 +22,9 @@ ClusterHost::ClusterHost(HostId id, HostKind kind, const ClusterConfig& config,
                                     0)),
       ms_meter_(SimTime::Zero(), 0.0),
       ledger_(SimTime::Zero(),
-              initially_powered ? HostPowerState::kPowered : HostPowerState::kSleeping) {}
+              initially_powered ? HostPowerState::kPowered : HostPowerState::kSleeping) {
+  ledger_.set_trace_host(static_cast<int64_t>(id));
+}
 
 void ClusterHost::Reserve(uint64_t bytes) {
   assert(bytes <= AvailableBytes() && "host memory over-reserved");

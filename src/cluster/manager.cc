@@ -6,6 +6,8 @@
 #include <set>
 
 #include "src/common/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace oasis {
 namespace {
@@ -15,6 +17,21 @@ uint64_t GrowthPerInterval(const ClusterConfig& config) {
   double hours = config.planning_interval.hours();
   uint64_t bytes = MiBToBytes(config.volumes.ws_growth_mib_per_hour * hours);
   return (bytes / kPageSize) * kPageSize;
+}
+
+// One migration leg as a span on the destination host's track, plus the
+// per-kind counter. `name` must be a string literal.
+void TraceMigration(const char* name, SimTime start, SimTime end, VmId vm, HostId dest,
+                    uint64_t bytes) {
+  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+    t->Complete("migration", name, start, end,
+                obs::TraceArgs{static_cast<int64_t>(dest), static_cast<int64_t>(vm),
+                               static_cast<int64_t>(bytes)});
+  }
+  if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
+    m->counter(std::string("cluster.migrations.") + name)->Increment();
+    m->histogram("cluster.migration_s")->Record((end - start).seconds());
+  }
 }
 
 }  // namespace
@@ -91,10 +108,19 @@ Joules ClusterManager::BaselineEnergy(const ClusterConfig& config, const TraceSe
 }
 
 void ClusterManager::OnInterval(SimTime now, int interval) {
+  OASIS_CLOG(kDebug, "cluster") << "planning round " << interval;
   UpdateActivities(now, interval);
   PartialVmUpkeep(now);
   Plan(now);
   RecordSnapshot(now, interval);
+  // All the work above happens at one simulated instant; the round still
+  // gets a span so Perfetto shows where each burst of migrations came from.
+  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+    t->Complete("ctrl", "planning_round", now, now);
+  }
+  if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
+    m->counter("cluster.planning_rounds")->Increment();
+  }
 }
 
 void ClusterManager::UpdateActivities(SimTime now, int interval) {
@@ -109,6 +135,11 @@ void ClusterManager::UpdateActivities(SimTime now, int interval) {
       vm.activity = VmActivity::kActive;
       vm.activation_time = now;
       AdjustActiveCount(now, vm.location, +1);
+      if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+        t->Instant("ctrl", "vm_activation", now,
+                   obs::TraceArgs{static_cast<int64_t>(vm.location),
+                                  static_cast<int64_t>(vm.id)});
+      }
       HandleActivation(now, vm.id, now);
     } else {
       vm.activity = VmActivity::kIdle;
@@ -182,6 +213,7 @@ bool ClusterManager::TryConvertInPlace(SimTime now, VmSlot& vm, SimTime activati
   // footprint streams in from the memory server in the background.
   const ClusterTimings& t = config_.timings;
   SimTime done = now + t.reintegration_fixed + t.reintegration_transfer;
+  TraceMigration("convert_in_place", now, done, vm.id, vm.location, vm.full_bytes - fetched);
   ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, vm.location);
   metrics_.transition_delay_s.Add((done - activation_time).seconds());
   RefreshMemoryServer(now, vm.home);
@@ -225,6 +257,7 @@ bool ClusterManager::TryNewHome(SimTime now, VmSlot& vm, SimTime activation_time
 
   const ClusterTimings& t = config_.timings;
   SimTime done = now + t.reintegration_fixed + t.reintegration_transfer;
+  TraceMigration("full_migration", now, done, vm.id, target_id, vm.full_bytes);
   ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, old_location);
   metrics_.transition_delay_s.Add((done - activation_time).seconds());
   RefreshMemoryServer(now, vm.home);
@@ -276,6 +309,7 @@ void ClusterManager::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester
     ++metrics_.reintegrations;
     SimTime done =
         home.EnqueueInboundTransfer(t0, t.reintegration_transfer) + t.reintegration_fixed;
+    TraceMigration("reintegration", t0, done, id, home_id, vm.dirty_bytes);
     vm.location = home_id;
     vm.residency = VmResidency::kFullAtHome;
     vm.ws_bytes = 0;
@@ -299,6 +333,8 @@ void ClusterManager::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester
     metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
     ++metrics_.full_migrations;
     SimTime done = source.EnqueueOutboundMigration(t0, t.full_migration);
+    TraceMigration("full_migration", done - t.full_migration, done, id, home_id,
+                   vm.full_bytes);
     vm.location = home_id;
     vm.residency = VmResidency::kFullAtHome;
     ScheduleMigration(vm, done - t.full_migration, done, VmSlot::PendingOp::kFullReturnMove,
@@ -379,6 +415,8 @@ void ClusterManager::PlanFullToPartialSwaps(SimTime now) {
       HostId cons_id = vm.location;
       // Leg 1: live-migrate the full VM back home.
       SimTime done1 = cons.EnqueueOutboundMigration(t0, t.full_migration);
+      TraceMigration("full_migration", done1 - t.full_migration, done1, id, home_id,
+                     vm.full_bytes);
       cons.Release(vm.full_bytes);
       cons.RemoveVm(now, id);
       home.AddVm(now, id);
@@ -398,9 +436,11 @@ void ClusterManager::PlanFullToPartialSwaps(SimTime now) {
         vm.ws_unfetched = ws;
         vm.dirty_bytes = 0;
         vm.consolidated_since = now;
-        RecordPartialMigrationTraffic(vm);
+        RecordPartialMigrationTraffic(now, vm);
         ++metrics_.full_to_partial_swaps;
         SimTime done2 = home.EnqueueOutboundMigration(done1, t.partial_migration);
+        TraceMigration("partial_migration", done2 - t.partial_migration, done2, id, cons_id,
+                       ws);
         ScheduleMigration(vm, done2 - t.partial_migration, done2,
                           VmSlot::PendingOp::kSwapReturn, home_id);
       } else {
@@ -630,6 +670,7 @@ void ClusterManager::CommitVacatePlan(SimTime now, const VacatePlan& plan,
         }
         metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
         ++metrics_.full_migrations;
+        TraceMigration("full_migration", now, done, vm_id, dest_id, vm.full_bytes);
       } else {
         done = source.EnqueueOutboundMigration(dest.EarliestPoweredTime(now),
                                                t.partial_migration);
@@ -640,7 +681,9 @@ void ClusterManager::CommitVacatePlan(SimTime now, const VacatePlan& plan,
         vm.ws_unfetched = ws;
         vm.dirty_bytes = 0;
         vm.consolidated_since = now;
-        RecordPartialMigrationTraffic(vm);
+        RecordPartialMigrationTraffic(now, vm);
+        TraceMigration("partial_migration", done - t.partial_migration, done, vm_id, dest_id,
+                       ws);
       }
       source.RemoveVm(now, vm_id);
       dest.AddVm(now, vm_id);
@@ -743,6 +786,16 @@ void ClusterManager::DrainConsolidationHosts(SimTime now) {
                          config_.volumes.descriptor_bytes);
     ++metrics_.partial_migrations;
     SimTime done = source.EnqueueOutboundMigration(now, t.partial_migration);
+    if (obs::Tracer* tr = obs::Tracer::IfEnabled()) {
+      // Drains ship only the descriptor; the memory image stays on the
+      // home's memory server.
+      tr->Complete("migration", "descriptor_push", now, now,
+                   obs::TraceArgs{static_cast<int64_t>(dest_id),
+                                  static_cast<int64_t>(vm_id),
+                                  static_cast<int64_t>(config_.volumes.descriptor_bytes)});
+    }
+    TraceMigration("partial_migration", done - t.partial_migration, done, vm_id, dest_id,
+                   vm.ws_bytes);
     ScheduleMigration(vm, done - t.partial_migration, done, VmSlot::PendingOp::kDrainMove,
                       source_id);
     ++moved;
@@ -956,14 +1009,27 @@ uint64_t ClusterManager::SampleWorkingSet() {
   return ws_sampler_.Sample(config_.vm_memory_bytes);
 }
 
-void ClusterManager::RecordPartialMigrationTraffic(VmSlot& vm) {
+void ClusterManager::RecordPartialMigrationTraffic(SimTime now, VmSlot& vm) {
   metrics_.traffic.Add(TrafficCategory::kPartialDescriptor, config_.volumes.descriptor_bytes);
   bool first = !vm_ever_uploaded_[vm.id];
   vm_ever_uploaded_[vm.id] = true;
-  metrics_.traffic.Add(TrafficCategory::kMemoryUpload,
-                       first ? config_.volumes.first_upload_bytes
-                             : config_.volumes.repeat_upload_bytes);
+  uint64_t upload = first ? config_.volumes.first_upload_bytes
+                          : config_.volumes.repeat_upload_bytes;
+  metrics_.traffic.Add(TrafficCategory::kMemoryUpload, upload);
   ++metrics_.partial_migrations;
+  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+    t->Complete("migration", "descriptor_push", now, now,
+                obs::TraceArgs{static_cast<int64_t>(vm.location),
+                               static_cast<int64_t>(vm.id),
+                               static_cast<int64_t>(config_.volumes.descriptor_bytes)});
+    t->Complete("migration", "memory_upload", now, now,
+                obs::TraceArgs{static_cast<int64_t>(vm.home),
+                               static_cast<int64_t>(vm.id),
+                               static_cast<int64_t>(upload)});
+  }
+  if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
+    m->counter("cluster.descriptor_pushes")->Increment();
+  }
 }
 
 }  // namespace oasis

@@ -116,7 +116,7 @@ class ClusterManager {
   void FinishMigration(SimTime now, VmId vm_id, uint32_t epoch);
   void AccrueEnergy(SimTime now);
   uint64_t SampleWorkingSet();
-  void RecordPartialMigrationTraffic(VmSlot& vm);
+  void RecordPartialMigrationTraffic(SimTime now, VmSlot& vm);
 
   ClusterConfig config_;
   TraceSet trace_;

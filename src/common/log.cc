@@ -1,6 +1,7 @@
 #include "src/common/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 
@@ -8,6 +9,10 @@ namespace oasis {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// INT64_MIN = "no simulation clock published".
+constexpr int64_t kNoSimTime = INT64_MIN;
+std::atomic<int64_t> g_sim_time_us{kNoSimTime};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -36,12 +41,71 @@ void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxe
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
-void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "d") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "i") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "w") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "e") {
+    *out = LogLevel::kError;
+  } else if (lower == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogSimTime(SimTime now) {
+  g_sim_time_us.store(now.micros(), std::memory_order_relaxed);
+}
+
+void ClearLogSimTime() { g_sim_time_us.store(kNoSimTime, std::memory_order_relaxed); }
+
+bool GetLogSimTime(SimTime* out) {
+  int64_t us = g_sim_time_us.load(std::memory_order_relaxed);
+  if (us == kNoSimTime) {
+    return false;
+  }
+  *out = SimTime::Micros(us);
+  return true;
+}
+
+void LogMessage(LogLevel level, const char* component, const char* file, int line,
+                const std::string& message) {
   if (level < GetLogLevel()) {
     return;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line,
-               message.c_str());
+  // Render the whole line first so it reaches stderr in one fwrite; writers
+  // on different threads cannot interleave mid-line.
+  std::string out;
+  out.reserve(message.size() + 64);
+  out += '[';
+  out += LevelTag(level);
+  SimTime sim_now;
+  if (GetLogSimTime(&sim_now)) {
+    out += ' ';
+    out += sim_now.ToClockString();
+  }
+  if (component != nullptr) {
+    out += ' ';
+    out += component;
+  }
+  out += ' ';
+  out += Basename(file);
+  out += ':';
+  out += std::to_string(line);
+  out += "] ";
+  out += message;
+  out += '\n';
+  std::fwrite(out.data(), 1, out.size(), stderr);
 }
 
 }  // namespace oasis

@@ -1,6 +1,28 @@
 #include "src/ctrl/rpc_bus.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace oasis {
+namespace {
+
+// Tracer span names must outlive the tracer, so map the variant to string
+// literals (same tags MessageTypeName uses) instead of a temporary string.
+const char* CallSpanName(const ControlMessage& message) {
+  struct Visitor {
+    const char* operator()(const CreateVmRequest&) { return "CREATE_VM"; }
+    const char* operator()(const CreateVmResponse&) { return "CREATE_VM_OK"; }
+    const char* operator()(const MigrateCommand&) { return "MIGRATE"; }
+    const char* operator()(const SuspendHostCommand&) { return "SUSPEND_HOST"; }
+    const char* operator()(const WakeHostCommand&) { return "WAKE_HOST"; }
+    const char* operator()(const HostStatsReport&) { return "HOST_STATS"; }
+    const char* operator()(const AckResponse&) { return "ACK"; }
+    const char* operator()(const StatsRequest&) { return "STATS_REQ"; }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+}  // namespace
 
 Status RpcBus::RegisterEndpoint(const std::string& name, Handler handler) {
   if (endpoints_.count(name)) {
@@ -20,6 +42,7 @@ StatusOr<ControlMessage> RpcBus::Call(const std::string& from, const std::string
   if (it == endpoints_.end()) {
     return Status::NotFound("no such endpoint: " + to);
   }
+  ++calls_;
   // Request leg over the wire.
   std::string request_line = EncodeMessage(request);
   Record(from, to, request_line);
@@ -31,16 +54,40 @@ StatusOr<ControlMessage> RpcBus::Call(const std::string& from, const std::string
   // Response leg.
   std::string response_line = EncodeMessage(response);
   Record(to, from, response_line);
+  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+    t->Complete("rpc", CallSpanName(request), now_, now_,
+                obs::TraceArgs{-1, -1,
+                               static_cast<int64_t>(request_line.size() +
+                                                    response_line.size())});
+  }
+  if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
+    m->counter("rpc.calls")->Increment();
+    m->counter("rpc.bytes")->Increment(request_line.size() + response_line.size());
+  }
   return DecodeMessage(response_line);
 }
 
-void RpcBus::Record(const std::string& from, const std::string& to, const std::string& line) {
-  ++calls_;
-  bytes_ += line.size();
-  log_.push_back(from + "->" + to + " " + line);
-  while (log_.size() > kLogLimit) {
-    log_.pop_front();
+std::vector<std::string> RpcBus::log() const {
+  std::vector<std::string> out;
+  size_t n = ring_.size();
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Oldest first: when full, the slot after the newest is the oldest.
+    size_t idx = n < kLogLimit ? i : (recorded_ + i) % kLogLimit;
+    out.push_back(ring_[idx]);
   }
+  return out;
+}
+
+void RpcBus::Record(const std::string& from, const std::string& to, const std::string& line) {
+  bytes_ += line.size();
+  std::string entry = from + "->" + to + " " + line;
+  if (ring_.size() < kLogLimit) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[recorded_ % kLogLimit] = std::move(entry);
+  }
+  ++recorded_;
 }
 
 }  // namespace oasis

@@ -6,12 +6,13 @@
 #ifndef OASIS_SRC_CTRL_RPC_BUS_H_
 #define OASIS_SRC_CTRL_RPC_BUS_H_
 
-#include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/status.h"
+#include "src/common/units.h"
 #include "src/ctrl/messages.h"
 
 namespace oasis {
@@ -32,11 +33,22 @@ class RpcBus {
   StatusOr<ControlMessage> Call(const std::string& from, const std::string& to,
                                 const ControlMessage& request);
 
+  // Publishes the simulated clock so diagnostics (tracer spans) carry
+  // sim-time timestamps. Callers that don't run under a simulator may skip
+  // this; spans then land at time zero.
+  void set_now(SimTime now) { now_ = now; }
+  SimTime now() const { return now_; }
+
+  // One completed request/response exchange per Call().
   uint64_t calls() const { return calls_; }
+  // Wire bytes across both legs of every exchange (requests + responses).
   uint64_t bytes_transferred() const { return bytes_; }
 
-  // The most recent wire lines, newest last ("from->to TYPE|...").
-  const std::deque<std::string>& log() const { return log_; }
+  // The most recent wire lines, oldest first ("from->to TYPE|..."). At most
+  // kLogLimit entries are retained; the ring enforces the bound structurally
+  // so no insertion path can leak past it.
+  std::vector<std::string> log() const;
+  size_t log_capacity() const { return kLogLimit; }
 
  private:
   void Record(const std::string& from, const std::string& to, const std::string& line);
@@ -44,8 +56,11 @@ class RpcBus {
   std::unordered_map<std::string, Handler> endpoints_;
   uint64_t calls_ = 0;
   uint64_t bytes_ = 0;
-  std::deque<std::string> log_;
+  SimTime now_;
+  // Fixed-capacity ring: slot = recorded_ % kLogLimit.
   static constexpr size_t kLogLimit = 64;
+  std::vector<std::string> ring_;
+  uint64_t recorded_ = 0;
 };
 
 }  // namespace oasis

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "src/common/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace oasis {
 
 MemoryServer::MemoryServer(const MemoryServerConfig& config)
@@ -11,7 +15,19 @@ MemoryServer::MemoryServer(const MemoryServerConfig& config)
 
 SimTime MemoryServer::Upload(SimTime now, VmId vm, uint64_t compressed_bytes) {
   images_[vm] += compressed_bytes;
-  return sas_.EnqueueTransfer(now, compressed_bytes);
+  SimTime done = sas_.EnqueueTransfer(now, compressed_bytes);
+  OASIS_CLOG(kDebug, "memsrv") << "vm " << vm << " image upload " << compressed_bytes
+                               << " B, done at " << done.seconds() << " s";
+  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+    t->Complete("memsrv", "image_upload", now, done,
+                obs::TraceArgs{-1, static_cast<int64_t>(vm),
+                               static_cast<int64_t>(compressed_bytes)});
+  }
+  if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
+    m->counter("memsrv.uploads")->Increment();
+    m->counter("memsrv.upload_bytes")->Increment(compressed_bytes);
+  }
+  return done;
 }
 
 StatusOr<SimTime> MemoryServer::ServePageRequest(SimTime now, VmId vm, uint64_t page_number) {
@@ -23,10 +39,23 @@ StatusOr<SimTime> MemoryServer::ServePageRequest(SimTime now, VmId vm, uint64_t 
   ++pages_served_;
   uint64_t chunk = page_number / kPagesPerChunk;
   SimTime latency = config_.network_rtt + config_.decompress_per_page;
-  if (CacheLookupInsert(vm, chunk)) {
+  bool hit = CacheLookupInsert(vm, chunk);
+  if (hit) {
     ++cache_hits_;
   } else {
     latency += config_.disk_seek;
+  }
+  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+    t->Complete("memsrv", "page_serve", now, now + latency,
+                obs::TraceArgs{-1, static_cast<int64_t>(vm),
+                               static_cast<int64_t>(kPageSize)});
+  }
+  if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
+    m->counter("memsrv.pages_served")->Increment();
+    if (hit) {
+      m->counter("memsrv.cache_hits")->Increment();
+    }
+    m->histogram("memsrv.page_serve_us")->Record(latency.micros());
   }
   return latency;
 }

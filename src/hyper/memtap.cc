@@ -1,5 +1,9 @@
 #include "src/hyper/memtap.h"
 
+#include "src/common/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace oasis {
 
 Memtap::Memtap(MemoryServer* server, VmId vm, uint64_t total_pages, uint64_t fault_seed)
@@ -12,6 +16,17 @@ StatusOr<SimTime> Memtap::FaultIn(SimTime now, uint64_t page) {
   }
   last_page_ = page;
   ++pages_fetched_;
+  OASIS_CLOG(kDebug, "memtap") << "vm " << vm_ << " fault page " << page << " served in "
+                               << latency->micros() << " us";
+  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+    t->Complete("memtap", "fault_fetch", now, now + *latency,
+                obs::TraceArgs{-1, static_cast<int64_t>(vm_),
+                               static_cast<int64_t>(kPageSize)});
+  }
+  if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
+    m->counter("memtap.faults")->Increment();
+    m->histogram("memtap.fault_us")->Record(latency->micros());
+  }
   return latency;
 }
 

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/trace.h"
+
 namespace oasis {
 
-PrecopyResult SimulatePrecopyMigration(uint64_t memory_bytes, const PrecopyConfig& config) {
+PrecopyResult SimulatePrecopyMigration(uint64_t memory_bytes, const PrecopyConfig& config,
+                                       SimTime trace_start) {
   assert(config.link_bytes_per_sec > 0.0);
   PrecopyResult result;
   double seconds_total = 0.0;
+  obs::Tracer* tracer = obs::Tracer::IfEnabled();
 
   // Round 0 ships the whole allocation while the VM keeps dirtying pages.
   uint64_t to_send = memory_bytes;
@@ -16,6 +20,12 @@ PrecopyResult SimulatePrecopyMigration(uint64_t memory_bytes, const PrecopyConfi
     double round_seconds = static_cast<double>(to_send) / config.link_bytes_per_sec;
     result.rounds.push_back(
         {round, to_send, SimTime::Seconds(round_seconds)});
+    if (tracer != nullptr) {
+      SimTime begin = trace_start + SimTime::Seconds(seconds_total);
+      tracer->Complete("precopy", "precopy_round", begin,
+                       begin + SimTime::Seconds(round_seconds),
+                       obs::TraceArgs{-1, -1, static_cast<int64_t>(to_send)});
+    }
     result.total_bytes += to_send;
     seconds_total += round_seconds;
 
@@ -39,6 +49,14 @@ PrecopyResult SimulatePrecopyMigration(uint64_t memory_bytes, const PrecopyConfi
   result.downtime = SimTime::Seconds(final_seconds) + config.control_overhead * 0.25;
   seconds_total += final_seconds;
   result.total_duration = SimTime::Seconds(seconds_total) + config.control_overhead;
+  if (tracer != nullptr) {
+    SimTime stop_begin = trace_start + SimTime::Seconds(seconds_total - final_seconds);
+    tracer->Complete("precopy", "stop_and_copy", stop_begin, stop_begin + result.downtime,
+                     obs::TraceArgs{-1, -1, static_cast<int64_t>(to_send)});
+    tracer->Complete("precopy", "precopy_migration", trace_start,
+                     trace_start + result.total_duration,
+                     obs::TraceArgs{-1, -1, static_cast<int64_t>(result.total_bytes)});
+  }
   return result;
 }
 

@@ -48,8 +48,11 @@ struct PrecopyResult {
   bool converged = false;        // false when the round budget forced the stop
 };
 
-// Simulates migrating `memory_bytes` of RAM under `config`.
-PrecopyResult SimulatePrecopyMigration(uint64_t memory_bytes, const PrecopyConfig& config);
+// Simulates migrating `memory_bytes` of RAM under `config`. When tracing is
+// enabled, the iterative rounds and the stop-and-copy phase are emitted as
+// "precopy" spans anchored at `trace_start` on the simulated clock.
+PrecopyResult SimulatePrecopyMigration(uint64_t memory_bytes, const PrecopyConfig& config,
+                                       SimTime trace_start = SimTime::Zero());
 
 // Effective throughput (memory_bytes / total_duration) for the given setup —
 // what a fixed-latency model should assume.

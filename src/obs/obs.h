@@ -1,0 +1,65 @@
+// Process-level observability wiring.
+//
+// ObsConfig collects the environment-controlled knobs; ObsScope installs them
+// on the global Tracer / MetricsRegistry for the duration of a binary's main
+// and exports the collected data on the way out. Every bench/ and examples/
+// binary opens an ObsScope first thing, so
+//
+//     OASIS_TRACE=trace.json ./build/bench/fig05_consolidation_latency
+//
+// emits a Perfetto-loadable trace with zero further plumbing.
+//
+// Environment variables:
+//   OASIS_TRACE=<path>       enable tracing; ".jsonl" suffix selects JSONL,
+//                            anything else Chrome trace_event JSON
+//   OASIS_METRICS=<path>     enable metrics; CSV snapshot written at exit
+//   OASIS_TRACE_CAPACITY=<n> ring-buffer size in events (default 65536)
+//   OASIS_LOG_LEVEL=<level>  debug|info|warning|error|off
+
+#ifndef OASIS_SRC_OBS_OBS_H_
+#define OASIS_SRC_OBS_OBS_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace oasis {
+namespace obs {
+
+struct ObsConfig {
+  std::string trace_path;    // empty = tracing disabled
+  std::string metrics_path;  // empty = metrics disabled
+  size_t trace_capacity = Tracer::kDefaultCapacity;
+  std::string log_level;  // empty = leave the global level alone
+
+  bool TracingRequested() const { return !trace_path.empty(); }
+  bool MetricsRequested() const { return !metrics_path.empty(); }
+  bool TraceIsJsonl() const;
+
+  static ObsConfig FromEnv();
+};
+
+// RAII: enables the requested global collectors on construction, exports and
+// disables them on destruction (or on an explicit Flush()).
+class ObsScope {
+ public:
+  explicit ObsScope(const ObsConfig& config = ObsConfig::FromEnv());
+  ~ObsScope();
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  // Writes the trace/metrics files now and disables collection. Idempotent.
+  void Flush();
+
+  const ObsConfig& config() const { return config_; }
+
+ private:
+  ObsConfig config_;
+  bool flushed_ = false;
+};
+
+}  // namespace obs
+}  // namespace oasis
+
+#endif  // OASIS_SRC_OBS_OBS_H_

@@ -2,6 +2,10 @@
 
 #include <cassert>
 
+#include "src/common/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace oasis {
 
 void EnergyMeter::SetDraw(SimTime now, Watts draw) {
@@ -16,8 +20,35 @@ void EnergyMeter::Advance(SimTime now) {
 }
 
 void StateTimeLedger::Transition(SimTime now, HostPowerState next) {
+  SimTime phase_start = last_change_;
+  HostPowerState prev = state_;
   Advance(now);
   state_ = next;
+  if (trace_host_ < 0 || prev == next) {
+    return;
+  }
+  OASIS_CLOG(kDebug, "power") << "host " << trace_host_ << " "
+                              << HostPowerStateName(prev) << " -> "
+                              << HostPowerStateName(next);
+  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+    // A finished in-transit phase becomes a span covering the Table 1
+    // latency; the landing state is an instant on the host's track.
+    if (prev == HostPowerState::kSuspending && next == HostPowerState::kSleeping) {
+      t->Complete("power", "s3_suspend", phase_start, now, obs::TraceArgs{trace_host_});
+    } else if (prev == HostPowerState::kResuming && next == HostPowerState::kPowered) {
+      t->Complete("power", "s3_resume", phase_start, now, obs::TraceArgs{trace_host_});
+    }
+    t->Instant("power", HostPowerStateName(next), now, obs::TraceArgs{trace_host_});
+  }
+  if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
+    if (next == HostPowerState::kSleeping) {
+      m->counter("power.s3_suspends")->Increment();
+      m->histogram("power.s3_suspend_s")->Record((now - phase_start).seconds());
+    } else if (prev == HostPowerState::kResuming && next == HostPowerState::kPowered) {
+      m->counter("power.s3_resumes")->Increment();
+      m->histogram("power.s3_resume_s")->Record((now - phase_start).seconds());
+    }
+  }
 }
 
 void StateTimeLedger::Advance(SimTime now) {

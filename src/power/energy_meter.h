@@ -39,7 +39,10 @@ class EnergyMeter {
   Joules joules_ = 0.0;
 };
 
-// Tracks how long a host spends in each power state.
+// Tracks how long a host spends in each power state. When a trace host id is
+// set, completed S3 phases (suspend, resume) are emitted as spans on the
+// global tracer and every state change as an instant event, which is how the
+// Fig 11 transition storms become visible in Perfetto.
 class StateTimeLedger {
  public:
   StateTimeLedger(SimTime start, HostPowerState initial)
@@ -53,10 +56,14 @@ class StateTimeLedger {
   HostPowerState state() const { return state_; }
   double SleepFraction(SimTime horizon) const;
 
+  // Attaches the owning host's id to emitted trace events (-1 = untraced).
+  void set_trace_host(int64_t host) { trace_host_ = host; }
+
  private:
   SimTime last_change_;
   HostPowerState state_;
   std::array<SimTime, 4> time_in_{};
+  int64_t trace_host_ = -1;
 };
 
 }  // namespace oasis

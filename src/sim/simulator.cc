@@ -3,6 +3,10 @@
 #include <cassert>
 #include <utility>
 
+#include "src/common/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace oasis {
 
 EventId Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
@@ -19,18 +23,24 @@ Simulator::PeriodicHandle Simulator::SchedulePeriodic(SimTime first_delay, SimTi
                                                       std::function<void(SimTime)> fn) {
   assert(period > SimTime::Zero());
   auto alive = std::make_shared<bool>(true);
-  // The re-arming closure owns the user callback and the liveness flag.
+  // The re-arming closure owns the user callback and the liveness flag. It
+  // refers to itself only weakly; the strong reference lives in the queued
+  // wrapper, so the chain is freed once no firing is pending (a self-capture
+  // would be a shared_ptr cycle and leak every periodic task).
   auto rearm = std::make_shared<std::function<void()>>();
-  *rearm = [this, alive, period, fn = std::move(fn), rearm]() {
+  std::weak_ptr<std::function<void()>> weak_rearm = rearm;
+  *rearm = [this, alive, period, fn = std::move(fn), weak_rearm]() {
     if (!*alive) {
       return;
     }
     fn(now_);
     if (*alive) {
-      ScheduleAfter(period, *rearm);
+      if (auto self = weak_rearm.lock()) {
+        ScheduleAfter(period, [self]() { (*self)(); });
+      }
     }
   };
-  ScheduleAfter(first_delay, *rearm);
+  ScheduleAfter(first_delay, [rearm]() { (*rearm)(); });
   return PeriodicHandle{std::move(alive)};
 }
 
@@ -55,6 +65,21 @@ bool Simulator::Step() {
   EventQueue::Popped ev = queue_.Pop();
   assert(ev.time >= now_);
   now_ = ev.time;
+  SetLogSimTime(now_);
+  ++dispatched_;
+  if (obs::MetricsRegistry::Enabled()) {
+    static obs::Counter* dispatched = obs::MetricsRegistry::Global().counter("sim.events_dispatched");
+    static obs::Gauge* depth = obs::MetricsRegistry::Global().gauge("sim.queue_depth");
+    dispatched->Increment();
+    depth->Set(static_cast<double>(queue_.size()));
+  }
+  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+    // Sample the queue-depth counter track; every dispatch would flood the
+    // bounded ring and evict the spans the track is meant to contextualize.
+    if ((dispatched_ & 0x3f) == 0) {
+      t->CounterValue("sim", "queue_depth", now_, static_cast<int64_t>(queue_.size()));
+    }
+  }
   ev.fn();
   return true;
 }

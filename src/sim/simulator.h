@@ -58,9 +58,12 @@ class Simulator {
 
   size_t pending_events() const { return queue_.size(); }
 
+  uint64_t events_dispatched() const { return dispatched_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::Zero();
+  uint64_t dispatched_ = 0;
 };
 
 }  // namespace oasis

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/ctrl/rpc_bus.h"
+
 namespace oasis {
 namespace {
 
@@ -84,6 +86,19 @@ TEST(MessagesTest, TypeNames) {
   EXPECT_EQ(MessageTypeName(ControlMessage(StatsRequest{})), "STATS_REQ");
   EXPECT_STREQ(MigrationTypeName(MigrationType::kFull), "full");
   EXPECT_STREQ(MigrationTypeName(MigrationType::kPartial), "partial");
+}
+
+TEST(MessagesTest, BusBytesTransferredMatchesEncodedWireLines) {
+  RpcBus bus;
+  ControlMessage reply = AckResponse{true, "done"};
+  ASSERT_TRUE(bus.RegisterEndpoint("agent", [reply](const ControlMessage&) -> ControlMessage {
+                   return reply;
+                 }).ok());
+  ControlMessage request = MigrateCommand{"0007", MigrationType::kPartial, 3};
+  ASSERT_TRUE(bus.Call("manager", "agent", request).ok());
+  ASSERT_TRUE(bus.Call("manager", "agent", request).ok());
+  uint64_t per_call = EncodeMessage(request).size() + EncodeMessage(reply).size();
+  EXPECT_EQ(bus.bytes_transferred(), 2 * per_call);
 }
 
 }  // namespace

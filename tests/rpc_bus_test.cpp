@@ -1,0 +1,113 @@
+#include "src/ctrl/rpc_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace oasis {
+namespace {
+
+AckResponse Ack(const std::string& detail) {
+  AckResponse r;
+  r.ok = true;
+  r.detail = detail;
+  return r;
+}
+
+TEST(RpcBusTest, CallRoundTripsThroughWireEncoding) {
+  RpcBus bus;
+  ASSERT_TRUE(bus.RegisterEndpoint("agent", [](const ControlMessage& m) -> ControlMessage {
+                   EXPECT_TRUE(std::holds_alternative<StatsRequest>(m));
+                   return Ack("ok");
+                 }).ok());
+  StatusOr<ControlMessage> response = bus.Call("manager", "agent", StatsRequest{});
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(std::get<AckResponse>(*response).ok);
+}
+
+TEST(RpcBusTest, CallsCountExchangesNotLegs) {
+  RpcBus bus;
+  ASSERT_TRUE(
+      bus.RegisterEndpoint("agent", [](const ControlMessage&) -> ControlMessage {
+           return Ack("ok");
+         }).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(bus.Call("manager", "agent", StatsRequest{}).ok());
+  }
+  EXPECT_EQ(bus.calls(), 3u);
+}
+
+TEST(RpcBusTest, BytesTransferredIsSumOfBothWireLegs) {
+  RpcBus bus;
+  ControlMessage response_msg = Ack("fine");
+  ASSERT_TRUE(bus.RegisterEndpoint("agent",
+                                   [response_msg](const ControlMessage&) -> ControlMessage {
+                                     return response_msg;
+                                   })
+                  .ok());
+  ControlMessage request = StatsRequest{};
+  ASSERT_TRUE(bus.Call("manager", "agent", request).ok());
+  uint64_t expected = EncodeMessage(request).size() + EncodeMessage(response_msg).size();
+  EXPECT_EQ(bus.bytes_transferred(), expected);
+}
+
+TEST(RpcBusTest, LogRetentionIsCappedOnEveryPath) {
+  RpcBus bus;
+  ASSERT_TRUE(
+      bus.RegisterEndpoint("agent", [](const ControlMessage&) -> ControlMessage {
+           return Ack("ok");
+         }).ok());
+  // 100 calls record 200 wire lines; the ring must never exceed its cap.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(bus.Call("manager", "agent", StatsRequest{}).ok());
+    EXPECT_LE(bus.log().size(), bus.log_capacity());
+  }
+  std::vector<std::string> log = bus.log();
+  EXPECT_EQ(log.size(), bus.log_capacity());
+  // Newest entry last; the final recorded line is the response leg.
+  EXPECT_EQ(log.back().rfind("agent->manager ", 0), 0u);
+  // Oldest-first ordering: request legs precede their response legs.
+  EXPECT_EQ(log[log.size() - 2].rfind("manager->agent ", 0), 0u);
+}
+
+TEST(RpcBusTest, CallToMissingEndpointFails) {
+  RpcBus bus;
+  StatusOr<ControlMessage> response = bus.Call("manager", "ghost", StatsRequest{});
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(bus.calls(), 0u);
+  EXPECT_EQ(bus.bytes_transferred(), 0u);
+}
+
+TEST(RpcBusTest, TracedCallsEmitRpcSpansAtSimTime) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.set_enabled(true);
+  RpcBus bus;
+  ASSERT_TRUE(
+      bus.RegisterEndpoint("agent", [](const ControlMessage&) -> ControlMessage {
+           return Ack("ok");
+         }).ok());
+  bus.set_now(SimTime::Seconds(12));
+  MigrateCommand cmd;
+  cmd.vmid = "vm-3";
+  cmd.destination = 2;
+  ASSERT_TRUE(bus.Call("manager", "agent", cmd).ok());
+  tracer.set_enabled(false);
+
+  bool found = false;
+  for (const obs::TraceEvent& e : tracer.Events()) {
+    if (std::string(e.category) == "rpc" && std::string(e.name) == "MIGRATE") {
+      found = true;
+      EXPECT_EQ(e.ts_us, SimTime::Seconds(12).micros());
+      EXPECT_EQ(e.args.bytes, static_cast<int64_t>(bus.bytes_transferred()));
+    }
+  }
+  EXPECT_TRUE(found) << "no rpc span recorded";
+  tracer.Clear();
+}
+
+}  // namespace
+}  // namespace oasis

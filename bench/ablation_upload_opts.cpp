@@ -45,7 +45,9 @@ int main() {
   MigrationModel model;
 
   // --- First upload: with and without compression -------------------------
-  Vm vm1 = PrimedVm(1);
+  uint64_t vm_seed = 1;
+  obs::ApplySeedOverride(&vm_seed);
+  Vm vm1 = PrimedVm(vm_seed);
   PartialMigrationPlan first = model.ExecutePartialMigration(vm1, /*differential=*/false);
   double compressed_s = UploadSeconds(first.upload_bytes_compressed);
   double raw_s = UploadSeconds(first.upload_bytes_raw);

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/core/oasis.h"
+#include "src/obs/obs.h"
 
 namespace oasis {
 
@@ -23,6 +24,7 @@ inline SimulationConfig PaperCluster(ConsolidationPolicy policy, int consolidati
   config.cluster.policy = policy;
   config.day = day;
   config.seed = 20160418;  // EuroSys'16 opening day
+  obs::ApplySeedOverride(&config.seed);
   return config;
 }
 

@@ -1,0 +1,80 @@
+// Chaos day: one full simulated cluster day with every fault class enabled
+// at the FaultConfig::ChaosDay() rates — host crashes, WoL packet loss, S3
+// resume hangs, memory-server failures and migration-stream aborts — next to
+// a fault-free control run with the same seed.
+//
+// The run is fully deterministic: re-running (or overriding OASIS_SEED) makes
+// the same faults fire at the same sim-times. The report shows the per-class
+// injected/recovered/skipped accounting and what the chaos cost in energy
+// and user-visible latency. Export the pairing evidence with
+//
+//   OASIS_TRACE=chaos.jsonl OASIS_METRICS=chaos.csv ./build/bench/chaos_day
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/fault/fault.h"
+#include "src/obs/obs.h"
+#include "src/trace/trace_generator.h"
+
+int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
+  using namespace oasis;
+  PrintExperimentHeader(std::cout, "Chaos day - failure injection and recovery",
+                        "One simulated day of the 30+4 rack under ChaosDay fault rates "
+                        "vs a fault-free control run with the same seed. Every injected "
+                        "fault must pair with a completed recovery.");
+
+  SimulationConfig config = PaperCluster(ConsolidationPolicy::kFullToPartial, 4,
+                                         DayKind::kWeekday);
+  TraceGenerator generator(config.trace, config.seed ^ 0x7ACEBA5Eull);
+  TraceSet trace = generator.GenerateTraceSet(config.cluster.TotalVms(), config.day);
+
+  ClusterConfig control_config = config.cluster;
+  control_config.seed = config.seed;
+  ClusterManager control(control_config, trace);
+  ClusterMetrics control_metrics = control.Run();
+
+  ClusterConfig chaos_config = control_config;
+  chaos_config.fault = FaultConfig::ChaosDay();
+  ClusterManager chaos(chaos_config, trace);
+  ClusterMetrics chaos_metrics = chaos.Run();
+  const FaultInjector& injector = chaos.fault_injector();
+
+  TextTable faults({"fault class", "injected", "recovered", "skipped"});
+  for (int c = 0; c < kNumFaultClasses; ++c) {
+    FaultClass fault = static_cast<FaultClass>(c);
+    faults.AddRow({FaultClassName(fault), std::to_string(injector.injected(fault)),
+                   std::to_string(injector.recovered(fault)),
+                   std::to_string(injector.skipped(fault))});
+  }
+  faults.Print(std::cout);
+
+  TextTable impact({"metric", "control", "chaos"});
+  impact.AddRow({"energy savings (%)",
+                 TextTable::Num(100.0 * control_metrics.EnergySavings(), 1),
+                 TextTable::Num(100.0 * chaos_metrics.EnergySavings(), 1)});
+  impact.AddRow({"total energy (kWh)", TextTable::Num(ToKWh(control_metrics.TotalEnergy()), 2),
+                 TextTable::Num(ToKWh(chaos_metrics.TotalEnergy()), 2)});
+  impact.AddRow({"transition delay p95 (s)",
+                 TextTable::Num(control_metrics.transition_delay_s.Quantile(0.95), 1),
+                 TextTable::Num(chaos_metrics.transition_delay_s.Quantile(0.95), 1)});
+  impact.AddRow({"host wakes", std::to_string(control_metrics.host_wakes),
+                 std::to_string(chaos_metrics.host_wakes)});
+  impact.AddRow({"reintegrations", std::to_string(control_metrics.reintegrations),
+                 std::to_string(chaos_metrics.reintegrations)});
+  impact.AddRow({"VM restarts after crashes", std::to_string(control_metrics.crash_vm_restarts),
+                 std::to_string(chaos_metrics.crash_vm_restarts)});
+  impact.Print(std::cout);
+
+  std::printf("\nfaults: %llu injected, %llu recovered (%s)\n",
+              static_cast<unsigned long long>(chaos_metrics.faults_injected),
+              static_cast<unsigned long long>(chaos_metrics.faults_recovered),
+              chaos_metrics.faults_injected == chaos_metrics.faults_recovered
+                  ? "all paired"
+                  : "MISMATCH - a fault was left unrecovered");
+  return chaos_metrics.faults_injected == chaos_metrics.faults_recovered ? 0 : 1;
+}

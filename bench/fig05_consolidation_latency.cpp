@@ -103,7 +103,14 @@ int main() {
                         "server (paper: full 41 s, partial 15.7 s / 7.2 s, reint 3.7 s).");
 
   OnlineStats full, p1, u1, p2, u2, ri, desc, od, rim;
-  for (uint64_t seed : {11u, 22u, 33u}) {
+  uint64_t seeds[] = {11u, 22u, 33u};
+  uint64_t base = seeds[0];
+  if (obs::ApplySeedOverride(&base)) {
+    for (size_t i = 0; i < 3; ++i) {
+      seeds[i] = base + i;
+    }
+  }
+  for (uint64_t seed : seeds) {
     RunResult r = OneRun(seed);
     full.Add(r.full_s);
     p1.Add(r.partial1_s);

@@ -10,6 +10,7 @@
 #include "src/mem/memory_image.h"
 #include "src/mem/page_content.h"
 #include "src/mem/working_set.h"
+#include "src/obs/obs.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/trace_generator.h"
 
@@ -114,6 +115,7 @@ void BM_ClusterDaySimulation(benchmark::State& state) {
   config.cluster.num_home_hosts = static_cast<int>(state.range(0));
   config.cluster.num_consolidation_hosts = 4;
   config.cluster.vms_per_home = 30;
+  obs::ApplySeedOverride(&config.seed);
   for (auto _ : state) {
     ClusterSimulation sim(config);
     benchmark::DoNotOptimize(sim.Run().metrics.TotalEnergy());

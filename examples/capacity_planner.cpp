@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     config.cluster.policy = ConsolidationPolicy::kFullToPartial;
     config.trace.weekday_attendance = attendance;
     config.seed = 77;
+    obs::ApplySeedOverride(&config.seed);
 
     SimulationResult weekday = ClusterSimulation(config).Run();
     config.day = DayKind::kWeekend;

@@ -23,6 +23,7 @@ int main() {
   config.id = 1001;
   config.memory_bytes = 4 * kGiB;
   config.seed = 7;
+  obs::ApplySeedOverride(&config.seed);
   Vm vm(config);
   ApplyWorkload(vm, BaseSystemFootprint());
   ApplyWorkload(vm, DesktopWorkload1());

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
   oasis::obs::ObsScope obs_scope;
   oasis::SimulationConfig config;
+  oasis::obs::ApplySeedOverride(&config.seed);
   config.cluster.policy =
       ParsePolicy(argc > 1 ? argv[1] : "fulltopartial");
   if (argc > 2 && std::string(argv[2]) == "weekend") {

@@ -45,7 +45,12 @@ int Generate(int argc, char** argv) {
   } else {
     return Usage();
   }
-  uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
+  uint64_t seed = 42;
+  if (argc > 5) {
+    seed = std::strtoull(argv[5], nullptr, 10);  // explicit CLI seed wins
+  } else {
+    oasis::obs::ApplySeedOverride(&seed);
+  }
 
   TraceGenerator generator(TraceGeneratorConfig{}, seed);
   TraceFile file{kind, generator.GenerateTraceSet(users, kind)};

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   SimulationConfig config;
   config.cluster.policy = ConsolidationPolicy::kFullToPartial;
   config.seed = 2016;
+  obs::ApplySeedOverride(&config.seed);
 
   if (argc > 1) {
     StatusOr<TraceFile> loaded = ReadTraceFromPath(argv[1]);

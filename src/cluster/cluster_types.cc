@@ -41,6 +41,12 @@ Status ClusterConfig::Validate() const {
   if (idle_smoothing_intervals < 0) {
     return Status::InvalidArgument("idle smoothing must be non-negative");
   }
+  if (fault.enabled) {
+    Status fault_ok = fault.Validate();
+    if (!fault_ok.ok()) {
+      return fault_ok;
+    }
+  }
   return Status::Ok();
 }
 

@@ -8,6 +8,7 @@
 
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/fault/fault.h"
 #include "src/hyper/vm.h"
 #include "src/mem/working_set.h"
 #include "src/power/power_model.h"
@@ -100,6 +101,9 @@ struct ClusterConfig {
   MemoryServerProfile memory_server_power;
   WorkingSetDistribution working_set;
   uint64_t seed = 42;
+  // Fault injection (disabled by default; a disabled config is guaranteed
+  // not to perturb the simulation in any way).
+  FaultConfig fault;
 
   int TotalVms() const { return num_home_hosts * vms_per_home; }
   int TotalHosts() const { return num_home_hosts + num_consolidation_hosts; }

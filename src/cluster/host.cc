@@ -122,6 +122,18 @@ void ClusterHost::RequestSleep(Simulator& sim, std::function<void(SimTime)> on_a
   });
 }
 
+void ClusterHost::Crash(SimTime now) {
+  assert(vms_.empty() && "crash recovery must relocate resident VMs first");
+  assert(active_vms_ == 0);
+  ++transition_epoch_;  // invalidate any in-flight suspend/resume completion
+  wake_after_suspend_ = false;
+  wake_waiters_.clear();
+  if (state_ != HostPowerState::kSleeping) {
+    Transition(now, HostPowerState::kSleeping);
+  }
+  SetMemoryServerPowered(now, false);
+}
+
 SimTime ClusterHost::EarliestPoweredTime(SimTime now) const {
   switch (state_) {
     case HostPowerState::kPowered:

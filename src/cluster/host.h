@@ -62,6 +62,13 @@ class ClusterHost {
   // Earliest time the host could be executing VMs if woken at `now`.
   SimTime EarliestPoweredTime(SimTime now) const;
 
+  // Injected power loss: the host drops to kSleeping instantly (no S3 entry
+  // latency), pending transitions and queued wake waiters are discarded, and
+  // the memory server goes dark with it. The caller must have relocated all
+  // resident VMs first — a crash is only modelled after its recovery plan is
+  // in place, because a VM left behind would silently stop being simulated.
+  void Crash(SimTime now);
+
   // --- Outbound migration / inbound reintegration serialization ----------
   // Occupies the host's outbound migration path for `duration` starting no
   // earlier than `now`; returns the completion time.

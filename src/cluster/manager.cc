@@ -40,7 +40,8 @@ ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace)
     : config_(config),
       trace_(std::move(trace)),
       rng_(config.seed),
-      ws_sampler_(config.working_set, config.seed ^ 0x5EED5EEDull) {
+      ws_sampler_(config.working_set, config.seed ^ 0x5EED5EEDull),
+      fault_(config.fault, config.seed ^ 0xFA0175EEDull) {
   assert(!trace_.empty() && "cluster needs at least one user-day");
   Status valid = config_.Validate();
   if (!valid.ok()) {
@@ -79,6 +80,7 @@ ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace)
       home.SetActiveVms(SimTime::Zero(), home.active_vms() + 1);
     }
   }
+  pending_wake_powered_at_.assign(hosts_.size(), SimTime::Zero());
 }
 
 ClusterMetrics ClusterManager::Run() {
@@ -92,9 +94,23 @@ ClusterMetrics ClusterManager::Run() {
                             static_cast<int>(when.seconds()) / kTraceIntervalSeconds);
     sim_.ScheduleAt(when, [this, interval]() { OnInterval(sim_.now(), interval); });
   }
+  // The pre-sampled fault schedule rides the same event queue, so a fault
+  // landing between planning rounds interleaves with migrations exactly as
+  // a real failure would.
+  if (fault_.enabled()) {
+    for (const ScheduledFault& event : fault_.plan().events) {
+      if (event.at > end) {
+        continue;
+      }
+      ScheduledFault ev = event;
+      sim_.ScheduleAt(ev.at, [this, ev]() { ApplyScheduledFault(sim_.now(), ev); });
+    }
+  }
   sim_.RunUntil(end);
   AccrueEnergy(end);
   metrics_.baseline_energy = BaselineEnergy(config_, trace_);
+  metrics_.faults_injected = fault_.TotalInjected();
+  metrics_.faults_recovered = fault_.TotalRecovered();
   return metrics_;
 }
 
@@ -268,11 +284,16 @@ bool ClusterManager::TryNewHome(SimTime now, VmSlot& vm, SimTime activation_time
   return true;
 }
 
-void ClusterManager::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
-                                     SimTime activation_time) {
+SimTime ClusterManager::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
+                                        SimTime activation_time) {
   ClusterHost& home = HostOf(home_id);
-  WakeHost(now, home_id);
-  SimTime t0 = home.EarliestPoweredTime(now);
+  StatusOr<SimTime> woken = WakeHost(now, home_id);
+  SimTime t0 = woken.ok() ? *woken : home.EarliestPoweredTime(now);
+  if (!woken.ok()) {
+    OASIS_CLOG(kError, "cluster") << "waking home " << home_id
+                                  << " failed: " << woken.status().ToString();
+  }
+  SimTime last_done = t0;
 
   // The requester reintegrates first; its delay is what the user feels.
   std::vector<VmId> partials;
@@ -322,6 +343,7 @@ void ClusterManager::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester
     if (id == requester) {
       metrics_.transition_delay_s.Add((done - activation_time).seconds());
     }
+    last_done = std::max(last_done, done);
   }
   for (VmId id : idle_fulls) {
     VmSlot& vm = Slot(id);
@@ -339,8 +361,10 @@ void ClusterManager::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester
     vm.residency = VmResidency::kFullAtHome;
     ScheduleMigration(vm, done - t.full_migration, done, VmSlot::PendingOp::kFullReturnMove,
                       source_id);
+    last_done = std::max(last_done, done);
   }
   RefreshMemoryServer(now, home_id);
+  return last_done;
 }
 
 void ClusterManager::PartialVmUpkeep(SimTime now) {
@@ -407,8 +431,8 @@ void ClusterManager::PlanFullToPartialSwaps(SimTime now) {
   const ClusterTimings& t = config_.timings;
   for (auto& [home_id, group] : by_home) {
     ClusterHost& home = HostOf(home_id);
-    WakeHost(now, home_id);
-    SimTime t0 = home.EarliestPoweredTime(now);
+    StatusOr<SimTime> woken = WakeHost(now, home_id);
+    SimTime t0 = woken.ok() ? *woken : home.EarliestPoweredTime(now);
     for (VmId id : group) {
       VmSlot& vm = Slot(id);
       ClusterHost& cons = HostOf(vm.location);
@@ -655,13 +679,13 @@ void ClusterManager::CommitVacatePlan(SimTime now, const VacatePlan& plan,
     for (const auto& [vm_id, dest_id] : plan.placements[i]) {
       VmSlot& vm = Slot(vm_id);
       ClusterHost& dest = HostOf(dest_id);
-      WakeHost(now, dest_id);
+      StatusOr<SimTime> woken = WakeHost(now, dest_id);
+      SimTime dest_ready = woken.ok() ? *woken : dest.EarliestPoweredTime(now);
       SimTime done;
       if (!TrustedIdle(vm, now)) {
         // Active (or not-yet-trusted idle) VMs move in full via live
         // migration, so they keep their resources and performance.
-        done = source.EnqueueOutboundMigration(dest.EarliestPoweredTime(now),
-                                               t.full_migration);
+        done = source.EnqueueOutboundMigration(dest_ready, t.full_migration);
         dest.Reserve(vm.full_bytes);
         vm.residency = VmResidency::kFullAtConsolidation;
         if (vm.activity == VmActivity::kActive) {
@@ -672,8 +696,7 @@ void ClusterManager::CommitVacatePlan(SimTime now, const VacatePlan& plan,
         ++metrics_.full_migrations;
         TraceMigration("full_migration", now, done, vm_id, dest_id, vm.full_bytes);
       } else {
-        done = source.EnqueueOutboundMigration(dest.EarliestPoweredTime(now),
-                                               t.partial_migration);
+        done = source.EnqueueOutboundMigration(dest_ready, t.partial_migration);
         uint64_t ws = planned_ws.at(vm_id);
         dest.Reserve(ws);
         vm.residency = VmResidency::kPartial;
@@ -861,14 +884,60 @@ void ClusterManager::AdjustActiveCount(SimTime now, HostId host, int delta) {
   h.SetActiveVms(now, h.active_vms() + delta);
 }
 
-void ClusterManager::WakeHost(SimTime now, HostId id) {
+StatusOr<SimTime> ClusterManager::WakeHost(SimTime now, HostId id) {
+  if (static_cast<size_t>(id) >= hosts_.size()) {
+    return Status::NotFound("no such host: " + std::to_string(id));
+  }
   ClusterHost& host = HostOf(id);
   if (!host.IsPowered()) {
     ++metrics_.host_wakes;
   }
+  // A fault-delayed WoL retry loop is already running for this host: join it
+  // instead of sampling a fresh fault episode for the same wake.
+  if (pending_wake_powered_at_[id] > now) {
+    return pending_wake_powered_at_[id];
+  }
   HostId hid = id;
+  if (fault_.enabled() && host.IsAsleep()) {
+    // Faults attach to the WoL actually sent: each lost packet costs one
+    // retry timeout, and a wedged resume costs a watchdog power-cycle.
+    SimTime t = now;
+    int losses = fault_.SampleWolLosses(now, static_cast<int64_t>(id));
+    if (losses > 0) {
+      SimTime waited = config_.fault.wol_retry_timeout * static_cast<double>(losses);
+      fault_.RecordRecovered(FaultClass::kWolLoss, t, t + waited,
+                             obs::TraceArgs{static_cast<int64_t>(id), -1, losses});
+      t = t + waited;
+      if (losses >= config_.fault.max_wol_retries) {
+        OASIS_CLOG(kWarning, "cluster")
+            << "host " << id << " ignored " << losses
+            << " WoL packets; escalating to the management processor";
+        if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
+          m->counter("fault.wol_escalations")->Increment();
+        }
+      }
+    }
+    if (fault_.SampleResumeHang(now, static_cast<int64_t>(id))) {
+      SimTime watchdog = config_.fault.resume_watchdog;
+      fault_.RecordRecovered(FaultClass::kResumeHang, t, t + watchdog,
+                             obs::TraceArgs{static_cast<int64_t>(id)});
+      t = t + watchdog;
+    }
+    if (t > now) {
+      // The WoL that sticks goes out at t; the host powers one resume later.
+      SimTime powered_at = host.EarliestPoweredTime(t);
+      pending_wake_powered_at_[id] = powered_at;
+      sim_.ScheduleAt(t, [this, hid]() {
+        HostOf(hid).RequestWake(sim_, [this, hid](SimTime at) {
+          pending_wake_powered_at_[hid] = SimTime::Zero();
+          RefreshMemoryServer(at, hid);
+        });
+      });
+      return powered_at;
+    }
+  }
   host.RequestWake(sim_, [this, hid](SimTime at) { RefreshMemoryServer(at, hid); });
-  (void)now;
+  return host.EarliestPoweredTime(now);
 }
 
 void ClusterManager::RefreshMemoryServer(SimTime now, HostId home_id) {
@@ -905,6 +974,10 @@ bool ClusterManager::TryAbortPendingMigration(SimTime now, VmSlot& vm) {
   if (now >= vm.migration_start) {
     return false;  // the transfer already started; ride it out
   }
+  return RollbackMigration(now, vm);
+}
+
+bool ClusterManager::RollbackMigration(SimTime now, VmSlot& vm) {
   switch (vm.pending_op) {
     case VmSlot::PendingOp::kVacatePartial:
     case VmSlot::PendingOp::kSwapReturn: {
@@ -970,6 +1043,239 @@ bool ClusterManager::TryAbortPendingMigration(SimTime now, VmSlot& vm) {
   vm.pending_op = VmSlot::PendingOp::kNone;
   vm.activation_pending = false;
   return true;
+}
+
+bool ClusterManager::RollbackFeasible(const VmSlot& vm) const {
+  if (!vm.migration_in_flight) {
+    return false;
+  }
+  switch (vm.pending_op) {
+    case VmSlot::PendingOp::kVacatePartial:
+    case VmSlot::PendingOp::kSwapReturn:
+    case VmSlot::PendingOp::kDrainMove:
+      return true;
+    case VmSlot::PendingOp::kFullReturnMove:
+      return hosts_[vm.migration_source]->CanFit(vm.full_bytes);
+    case VmSlot::PendingOp::kReturnMove:
+    case VmSlot::PendingOp::kOther:
+    case VmSlot::PendingOp::kNone:
+      return false;
+  }
+  return false;
+}
+
+void ClusterManager::ApplyScheduledFault(SimTime now, const ScheduledFault& event) {
+  switch (event.fault) {
+    case FaultClass::kHostCrash: {
+      HostId victim = kNoHost;
+      if (event.target >= 0) {
+        HostId id = static_cast<HostId>(event.target);
+        if (static_cast<size_t>(id) < hosts_.size() && IsConsolidationHost(id) &&
+            HostOf(id).IsPowered()) {
+          victim = id;
+        }
+      } else {
+        // Deterministic pick: the powered consolidation host with the most
+        // resident VMs (ties to the lowest id) — the most damaging crash.
+        size_t best_vms = 0;
+        for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
+          HostId id = static_cast<HostId>(config_.num_home_hosts + c);
+          ClusterHost& host = HostOf(id);
+          if (!host.IsPowered()) {
+            continue;
+          }
+          if (victim == kNoHost || host.vms().size() > best_vms) {
+            victim = id;
+            best_vms = host.vms().size();
+          }
+        }
+      }
+      if (victim == kNoHost) {
+        fault_.RecordSkipped(FaultClass::kHostCrash, now, obs::TraceArgs{event.target});
+        return;
+      }
+      CrashHost(now, victim);
+      return;
+    }
+    case FaultClass::kMemoryServerFailure: {
+      HostId victim = kNoHost;
+      if (event.target >= 0) {
+        HostId id = static_cast<HostId>(event.target);
+        if (id < static_cast<HostId>(config_.num_home_hosts) &&
+            HostOf(id).memory_server_powered()) {
+          victim = id;
+        }
+      } else {
+        // Lowest-id home whose memory server is actually up (i.e. the home
+        // sleeps and partial VMs depend on it).
+        for (int h = 0; h < config_.num_home_hosts; ++h) {
+          HostId id = static_cast<HostId>(h);
+          if (HostOf(id).memory_server_powered()) {
+            victim = id;
+            break;
+          }
+        }
+      }
+      if (victim == kNoHost) {
+        fault_.RecordSkipped(FaultClass::kMemoryServerFailure, now,
+                             obs::TraceArgs{event.target});
+        return;
+      }
+      FailMemoryServer(now, victim);
+      return;
+    }
+    case FaultClass::kMigrationAbort:
+      InjectMigrationAbort(now, event.target);
+      return;
+    case FaultClass::kWolLoss:
+    case FaultClass::kRpcDrop:
+    case FaultClass::kRpcDelay:
+    case FaultClass::kResumeHang:
+      // Query-sampled classes cannot be time-scheduled: there is no pending
+      // operation at an arbitrary instant to attach them to.
+      fault_.RecordSkipped(event.fault, now, obs::TraceArgs{event.target});
+      return;
+  }
+}
+
+void ClusterManager::CrashHost(SimTime now, HostId id) {
+  ClusterHost& host = HostOf(id);
+  // Pass 1: feasibility. A resident whose in-flight op cannot roll back
+  // (in-place conversion, reintegration pull) makes the host briefly
+  // unkillable — the crash is skipped rather than leaving a VM in a state
+  // the simulation cannot account for.
+  for (VmId vid : host.vms()) {
+    const VmSlot& vm = vms_[vid];
+    if (vm.migration_in_flight && !RollbackFeasible(vm)) {
+      fault_.RecordSkipped(FaultClass::kHostCrash, now,
+                           obs::TraceArgs{static_cast<int64_t>(id),
+                                          static_cast<int64_t>(vid)});
+      return;
+    }
+  }
+  fault_.RecordInjected(FaultClass::kHostCrash, now,
+                        obs::TraceArgs{static_cast<int64_t>(id), -1,
+                                       static_cast<int64_t>(host.vms().size())});
+  OASIS_CLOG(kWarning, "cluster") << "host " << id << " crashed with "
+                                  << host.vms().size() << " resident VMs";
+  // Pass 2: in-flight migrations into the crashed host lose their stream;
+  // roll each back to its consistent pre-move state.
+  std::vector<VmId> inflight;
+  for (VmId vid : host.vms()) {
+    if (vms_[vid].migration_in_flight) {
+      inflight.push_back(vid);
+    }
+  }
+  for (VmId vid : inflight) {
+    bool rolled = RollbackMigration(now, Slot(vid));
+    assert(rolled && "feasibility pass admitted an un-rollbackable op");
+    (void)rolled;
+  }
+  SimTime recovered_by = now;
+  // Pass 3: live-migration streams *sourced* at the crashed host (full
+  // returns heading home) lose their source mid-stream; the destination
+  // discards the partial copy and the VM restarts from its home disk image.
+  for (VmSlot& vm : vms_) {
+    if (!vm.migration_in_flight || vm.migration_source != id ||
+        vm.pending_op != VmSlot::PendingOp::kFullReturnMove) {
+      continue;
+    }
+    SimTime powered = HostOf(vm.home).EarliestPoweredTime(now);
+    SimTime done = powered + config_.fault.vm_restart_latency;
+    TraceMigration("crash_restart", now, done, vm.id, vm.home, vm.full_bytes);
+    ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, id);
+    ++metrics_.crash_vm_restarts;
+    recovered_by = std::max(recovered_by, done);
+  }
+  // Pass 4: recover residents. Full VMs restart at home from the disk image
+  // (a home never releases the reservation for its own VM, so capacity is
+  // guaranteed); partials lose their resident pages and reintegrate with
+  // their whole home group below.
+  std::vector<VmId> residents(host.vms().begin(), host.vms().end());
+  std::set<HostId> partial_homes;
+  for (VmId vid : residents) {
+    VmSlot& vm = Slot(vid);
+    if (vm.residency == VmResidency::kPartial) {
+      partial_homes.insert(vm.home);
+      continue;
+    }
+    ClusterHost& home = HostOf(vm.home);
+    StatusOr<SimTime> woken = WakeHost(now, vm.home);
+    SimTime powered = woken.ok() ? *woken : home.EarliestPoweredTime(now);
+    host.Release(vm.full_bytes);
+    host.RemoveVm(now, vid);
+    home.AddVm(now, vid);
+    if (vm.activity == VmActivity::kActive) {
+      AdjustActiveCount(now, id, -1);
+      AdjustActiveCount(now, vm.home, +1);
+    }
+    vm.location = vm.home;
+    vm.residency = VmResidency::kFullAtHome;
+    SimTime done = powered + config_.fault.vm_restart_latency;
+    TraceMigration("crash_restart", now, done, vid, vm.home, vm.full_bytes);
+    ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, id);
+    if (vm.activity == VmActivity::kActive) {
+      metrics_.transition_delay_s.Add((done - now).seconds());
+    }
+    ++metrics_.crash_vm_restarts;
+    recovered_by = std::max(recovered_by, done);
+  }
+  for (HostId home_id : partial_homes) {
+    recovered_by = std::max(recovered_by, ReturnHomeGroup(now, home_id, kNoVm, now));
+  }
+  assert(!host.HasVms() && "crash recovery left a VM behind");
+  host.Crash(now);
+  fault_.RecordRecovered(FaultClass::kHostCrash, now, recovered_by,
+                         obs::TraceArgs{static_cast<int64_t>(id)});
+}
+
+void ClusterManager::FailMemoryServer(SimTime now, HostId home_id) {
+  ClusterHost& home = HostOf(home_id);
+  fault_.RecordInjected(FaultClass::kMemoryServerFailure, now,
+                        obs::TraceArgs{static_cast<int64_t>(home_id), -1,
+                                       CountPartialsHomedAt(home_id)});
+  OASIS_CLOG(kWarning, "cluster")
+      << "memory server of home " << home_id
+      << " failed; emergency-reintegrating its partial VMs";
+  home.SetMemoryServerPowered(now, false);
+  // Partials homed here that are mid-drain lose their backing store too;
+  // roll them back so the group return below covers them.
+  for (VmSlot& vm : vms_) {
+    if (vm.home == home_id && vm.migration_in_flight &&
+        vm.pending_op == VmSlot::PendingOp::kDrainMove) {
+      RollbackMigration(now, vm);
+    }
+  }
+  SimTime done = ReturnHomeGroup(now, home_id, kNoVm, now);
+  fault_.RecordRecovered(FaultClass::kMemoryServerFailure, now, done,
+                         obs::TraceArgs{static_cast<int64_t>(home_id)});
+}
+
+void ClusterManager::InjectMigrationAbort(SimTime now, int64_t target) {
+  for (VmSlot& vm : vms_) {
+    if (target >= 0 && vm.id != static_cast<VmId>(target)) {
+      continue;
+    }
+    if (!RollbackFeasible(vm)) {
+      continue;
+    }
+    // The stream aborts at a page boundary: the destination discards the
+    // half-copied pages and the VM stays (or resumes) at its source with a
+    // consistent image.
+    SimTime started = std::min(vm.migration_start, now);
+    HostId dest = vm.location;
+    fault_.RecordInjected(FaultClass::kMigrationAbort, now,
+                          obs::TraceArgs{static_cast<int64_t>(dest),
+                                         static_cast<int64_t>(vm.id)});
+    bool rolled = RollbackMigration(now, vm);
+    assert(rolled && "RollbackFeasible admitted an un-rollbackable op");
+    (void)rolled;
+    fault_.RecordRecovered(FaultClass::kMigrationAbort, started, now,
+                           obs::TraceArgs{static_cast<int64_t>(vm.location),
+                                          static_cast<int64_t>(vm.id)});
+    return;
+  }
+  fault_.RecordSkipped(FaultClass::kMigrationAbort, now, obs::TraceArgs{-1, target});
 }
 
 void ClusterManager::FinishMigration(SimTime now, VmId vm_id, uint32_t epoch) {

@@ -59,6 +59,7 @@ class ClusterManager {
   const VmSlot& GetVm(VmId id) const { return vms_[id]; }
   size_t num_hosts() const { return hosts_.size(); }
   size_t num_vms() const { return vms_.size(); }
+  const FaultInjector& fault_injector() const { return fault_; }
 
  private:
   // --- interval pipeline --------------------------------------------------
@@ -76,8 +77,29 @@ class ClusterManager {
   void HandleActivation(SimTime now, VmId vm_id, SimTime activation_time);
   bool TryConvertInPlace(SimTime now, VmSlot& vm, SimTime activation_time);
   bool TryNewHome(SimTime now, VmSlot& vm, SimTime activation_time);
-  void ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
-                       SimTime activation_time);
+  // Returns when the last migration of the group completes (>= now even when
+  // there was nothing to move), so fault recovery can bound its spans.
+  SimTime ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
+                          SimTime activation_time);
+
+  // --- fault handling -------------------------------------------------------
+  // Dispatches one FaultPlan event at its scheduled time.
+  void ApplyScheduledFault(SimTime now, const ScheduledFault& event);
+  // Instant power loss on a consolidation host: rolls back what can roll
+  // back, restarts full VMs at their homes, emergency-reintegrates partials,
+  // then cuts the power.
+  void CrashHost(SimTime now, HostId id);
+  // A sleeping home's memory server dies: its partial VMs lose their backing
+  // store, so the home is woken and the whole group reintegrated.
+  void FailMemoryServer(SimTime now, HostId home_id);
+  // Aborts one in-flight migration at a page boundary (rolling it back to a
+  // consistent resident state). `target` picks a VM, -1 the lowest eligible.
+  void InjectMigrationAbort(SimTime now, int64_t target);
+  // The abort bookkeeping shared by user-triggered aborts (which gate on the
+  // transfer not having started) and injected stream aborts (which do not).
+  bool RollbackMigration(SimTime now, VmSlot& vm);
+  // Whether RollbackMigration would succeed for `vm` right now.
+  bool RollbackFeasible(const VmSlot& vm) const;
 
   // --- vacate machinery -----------------------------------------------------
   struct VacatePlan {
@@ -102,7 +124,11 @@ class ClusterManager {
   void AdjustActiveCount(SimTime now, HostId host, int delta);
   // Idle long enough that the manager's idleness detector trusts it.
   bool TrustedIdle(const VmSlot& vm, SimTime now) const;
-  void WakeHost(SimTime now, HostId id);
+  // Sends the WoL and returns the time the host will be executing VMs. With
+  // fault injection the wake can lose WoL packets or hang in resume, pushing
+  // that time out; callers must use the returned value rather than asking
+  // the host directly.
+  StatusOr<SimTime> WakeHost(SimTime now, HostId id);
   void RefreshMemoryServer(SimTime now, HostId home_id);
   int CountPartialsHomedAt(HostId home_id) const;
   void MaybeSleepHomeHost(SimTime now, HostId host_id);
@@ -123,9 +149,15 @@ class ClusterManager {
   Simulator sim_;
   Rng rng_;
   WorkingSetSampler ws_sampler_;
+  FaultInjector fault_;
   std::vector<std::unique_ptr<ClusterHost>> hosts_;
   std::vector<VmSlot> vms_;
   std::vector<bool> vm_ever_uploaded_;
+  // Per host: when a fault-delayed wake will have the host powered
+  // (SimTime::Zero() = no delayed wake pending). Duplicate wake requests
+  // while the WoL retry loop runs join the pending wake instead of sampling
+  // new faults.
+  std::vector<SimTime> pending_wake_powered_at_;
   ClusterMetrics metrics_;
 };
 

@@ -59,6 +59,11 @@ struct ClusterMetrics {
   uint64_t capacity_exhaustions = 0;
   uint64_t full_to_partial_swaps = 0;
   uint64_t new_home_moves = 0;
+
+  // Fault-injection accounting (all zero when FaultConfig is disabled).
+  uint64_t faults_injected = 0;
+  uint64_t faults_recovered = 0;
+  uint64_t crash_vm_restarts = 0;  // VMs restarted at home after a host crash
 };
 
 }  // namespace oasis

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kAborted:
+      return "ABORTED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kUnavailable,
+  kAborted,
   kInternal,
 };
 
@@ -48,6 +49,9 @@ class Status {
   static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
   }
+  // An operation was cut off mid-flight (e.g. an injected fault killed the
+  // serving component while the request was in progress).
+  static Status Aborted(std::string m) { return Status(StatusCode::kAborted, std::move(m)); }
   static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }

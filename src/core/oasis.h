@@ -30,11 +30,18 @@
 namespace oasis {
 
 struct SimulationConfig {
+  // cluster.fault opts into deterministic failure injection (host crashes,
+  // WoL loss, RPC faults, memory-server deaths, migration aborts — see
+  // DESIGN.md § Failure model). Disabled by default; a disabled config
+  // consumes no random draws, so results match builds without the subsystem.
   ClusterConfig cluster;
   DayKind day = DayKind::kWeekday;
   TraceGeneratorConfig trace;
   // When set, this trace drives the run instead of the generator.
   std::optional<TraceSet> fixed_trace;
+  // Drives the trace generator, the cluster's RNG streams, and the fault
+  // schedule; every bench/example main lets OASIS_SEED override it
+  // (obs::ApplySeedOverride).
   uint64_t seed = 42;
 };
 

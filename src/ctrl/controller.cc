@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/log.h"
 #include "src/ctrl/vm_config_file.h"
+#include "src/fault/fault.h"
+#include "src/obs/metrics.h"
 
 namespace oasis {
 namespace {
@@ -68,7 +71,7 @@ StatusOr<CreateVmResponse> ClusterController::CreateVm(const std::string& config
   }
   CreateVmRequest request{std::string(kInlinePrefix) + SerializeVmConfig(*config)};
   StatusOr<ControlMessage> response =
-      bus_->Call(kManagerEndpoint, HostAgent::EndpointName(best), request);
+      bus_->CallWithRetry(kManagerEndpoint, HostAgent::EndpointName(best), request);
   if (!response.ok()) {
     return response.status();
   }
@@ -87,7 +90,7 @@ Status ClusterController::MigrateVm(HostId owner, const std::string& vmid,
                                     MigrationType type, HostId destination) {
   MigrateCommand command{vmid, type, destination};
   StatusOr<ControlMessage> response =
-      bus_->Call(kManagerEndpoint, HostAgent::EndpointName(owner), command);
+      bus_->CallWithRetry(kManagerEndpoint, HostAgent::EndpointName(owner), command);
   if (!response.ok()) {
     return response.status();
   }
@@ -102,7 +105,7 @@ Status ClusterController::MigrateVm(HostId owner, const std::string& vmid,
 }
 
 Status ClusterController::SuspendHost(HostId host) {
-  StatusOr<ControlMessage> response = bus_->Call(
+  StatusOr<ControlMessage> response = bus_->CallWithRetry(
       kManagerEndpoint, HostAgent::EndpointName(host), SuspendHostCommand{host});
   if (!response.ok()) {
     return response.status();
@@ -121,8 +124,28 @@ Status ClusterController::SuspendHost(HostId host) {
 Status ClusterController::WakeHost(HostId host) {
   // §4.1: "the manager wakes up the corresponding host with a network
   // Wake-on-LAN before issuing the migration or creation call".
+  //
+  // WoL is connectionless, so a lost packet produces no error — the manager
+  // only notices the host never came up. Recovery: re-send on a timeout; a
+  // host that eats max_wol_retries packets escalates (operator alert) and
+  // gets one final send.
+  if (FaultInjector* f = bus_->fault_injector()) {
+    int losses = f->SampleWolLosses(bus_->now(), static_cast<int64_t>(host));
+    if (losses > 0) {
+      SimTime waited = f->config().wol_retry_timeout * static_cast<double>(losses);
+      f->RecordRecovered(FaultClass::kWolLoss, bus_->now(), bus_->now() + waited,
+                         obs::TraceArgs{static_cast<int64_t>(host), -1, losses});
+      if (losses >= f->config().max_wol_retries) {
+        OASIS_CLOG(kWarning, "ctrl")
+            << "host " << host << " ignored " << losses << " WoL packets; escalating";
+        if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
+          m->counter("fault.wol_escalations")->Increment();
+        }
+      }
+    }
+  }
   StatusOr<ControlMessage> response =
-      bus_->Call(kManagerEndpoint, HostAgent::EndpointName(host), WakeHostCommand{host});
+      bus_->CallWithRetry(kManagerEndpoint, HostAgent::EndpointName(host), WakeHostCommand{host});
   if (!response.ok()) {
     return response.status();
   }
@@ -137,7 +160,7 @@ std::vector<HostStatsReport> ClusterController::CollectStats() {
   std::vector<HostStatsReport> reports;
   for (const auto& [host, record] : hosts_) {
     StatusOr<ControlMessage> response =
-        bus_->Call(kManagerEndpoint, HostAgent::EndpointName(host), StatsRequest{});
+        bus_->CallWithRetry(kManagerEndpoint, HostAgent::EndpointName(host), StatsRequest{});
     if (!response.ok()) {
       continue;
     }

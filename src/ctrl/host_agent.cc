@@ -54,20 +54,32 @@ size_t HostAgent::PresentVmCount() const {
 ControlMessage HostAgent::Handle(const ControlMessage& request) {
   struct Visitor {
     HostAgent* agent;
-    ControlMessage operator()(const CreateVmRequest& m) { return agent->HandleCreate(m); }
-    ControlMessage operator()(const MigrateCommand& m) { return agent->HandleMigrate(m); }
-    ControlMessage operator()(const SuspendHostCommand&) {
-      // A host may sleep once no VM *executes* here; owner records whose VMs
-      // were partially migrated away stay behind, served by the memory
-      // server while the host is in S3.
-      if (agent->PresentVmCount() > 0) {
-        return Nack("host still runs VMs");
+    ControlMessage operator()(const CreateVmRequest& m) {
+      StatusOr<CreateVmResponse> created = agent->Create(m);
+      if (!created.ok()) {
+        return Nack(created.status().message());
       }
-      agent->suspended_ = true;
+      return *created;
+    }
+    ControlMessage operator()(const MigrateCommand& m) {
+      Status migrated = agent->Migrate(m);
+      if (!migrated.ok()) {
+        return Nack(migrated.message());
+      }
+      return AckResponse{true, "migrated " + m.vmid};
+    }
+    ControlMessage operator()(const SuspendHostCommand&) {
+      Status suspended = agent->Suspend();
+      if (!suspended.ok()) {
+        return Nack(suspended.message());
+      }
       return AckResponse{true, "suspended"};
     }
     ControlMessage operator()(const WakeHostCommand&) {
-      agent->suspended_ = false;
+      Status woken = agent->Wake();
+      if (!woken.ok()) {
+        return Nack(woken.message());
+      }
       return AckResponse{true, "powered"};
     }
     ControlMessage operator()(const StatsRequest&) { return agent->BuildStats(); }
@@ -78,9 +90,9 @@ ControlMessage HostAgent::Handle(const ControlMessage& request) {
   return std::visit(Visitor{this}, request);
 }
 
-ControlMessage HostAgent::HandleCreate(const CreateVmRequest& request) {
+StatusOr<CreateVmResponse> HostAgent::Create(const CreateVmRequest& request) {
   if (suspended_) {
-    return Nack("host is suspended");
+    return Status::FailedPrecondition("host is suspended");
   }
   std::string text = request.config_path;
   bool replica = false;
@@ -90,11 +102,11 @@ ControlMessage HostAgent::HandleCreate(const CreateVmRequest& request) {
     text = text.substr(sizeof(kReplicaPrefix) - 1);
     replica = true;
   } else {
-    return Nack("config not resolvable by agent: " + request.config_path);
+    return Status::InvalidArgument("config not resolvable by agent: " + request.config_path);
   }
   StatusOr<VmConfigFile> config = ParseVmConfig(text);
   if (!config.ok()) {
-    return Nack("bad config: " + config.status().message());
+    return Status::InvalidArgument("bad config: " + config.status().message());
   }
   auto it = vms_.find(config->vmid);
   if (it != vms_.end()) {
@@ -103,10 +115,10 @@ ControlMessage HostAgent::HandleCreate(const CreateVmRequest& request) {
       it->second.present = true;
       return CreateVmResponse{config->vmid, host_id_};
     }
-    return Nack("vmid already present: " + config->vmid);
+    return Status::FailedPrecondition("vmid already present: " + config->vmid);
   }
   if (config->memory_bytes > free_bytes()) {
-    return Nack("insufficient memory for vm " + config->vmid);
+    return Status::ResourceExhausted("insufficient memory for vm " + config->vmid);
   }
   used_bytes_ += config->memory_bytes;
   std::string vmid = config->vmid;
@@ -114,27 +126,27 @@ ControlMessage HostAgent::HandleCreate(const CreateVmRequest& request) {
   return CreateVmResponse{vmid, host_id_};
 }
 
-ControlMessage HostAgent::HandleMigrate(const MigrateCommand& command) {
+Status HostAgent::Migrate(const MigrateCommand& command) {
   auto it = vms_.find(command.vmid);
   if (it == vms_.end() || !it->second.present) {
-    return Nack("vm not running on this agent: " + command.vmid);
+    return Status::NotFound("vm not running on this agent: " + command.vmid);
   }
   if (command.destination == host_id_) {
-    return Nack("cannot migrate to self");
+    return Status::InvalidArgument("cannot migrate to self");
   }
   const char* prefix =
       command.type == MigrationType::kPartial ? kReplicaPrefix : kInlinePrefix;
   CreateVmRequest push{std::string(prefix) + SerializeVmConfig(it->second.config)};
-  StatusOr<ControlMessage> response =
-      bus_->Call(EndpointName(host_id_), EndpointName(command.destination), push);
+  StatusOr<ControlMessage> response = bus_->CallWithRetry(
+      EndpointName(host_id_), EndpointName(command.destination), push);
   if (!response.ok()) {
-    return Nack("destination unreachable: " + response.status().message());
+    return Status::Unavailable("destination unreachable: " + response.status().message());
   }
   if (const auto* ack = std::get_if<AckResponse>(&*response)) {
-    return Nack("destination refused: " + ack->detail);
+    return Status::FailedPrecondition("destination refused: " + ack->detail);
   }
   if (!std::holds_alternative<CreateVmResponse>(*response)) {
-    return Nack("unexpected destination response");
+    return Status::Internal("unexpected destination response");
   }
   if (command.type == MigrationType::kFull) {
     // §4.2: the destination becomes the owner; the source frees everything,
@@ -151,7 +163,23 @@ ControlMessage HostAgent::HandleMigrate(const MigrateCommand& command) {
     used_bytes_ -= it->second.config.memory_bytes;
     vms_.erase(it);
   }
-  return AckResponse{true, "migrated " + command.vmid};
+  return Status::Ok();
+}
+
+Status HostAgent::Suspend() {
+  // A host may sleep once no VM *executes* here; owner records whose VMs
+  // were partially migrated away stay behind, served by the memory server
+  // while the host is in S3.
+  if (PresentVmCount() > 0) {
+    return Status::FailedPrecondition("host still runs VMs");
+  }
+  suspended_ = true;
+  return Status::Ok();
+}
+
+Status HostAgent::Wake() {
+  suspended_ = false;
+  return Status::Ok();
 }
 
 HostStatsReport HostAgent::BuildStats() const {

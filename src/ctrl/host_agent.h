@@ -46,6 +46,16 @@ class HostAgent {
   bool VmPresent(const std::string& vmid) const;
   size_t PresentVmCount() const;
 
+  // --- RPC entry points (§4.2) --------------------------------------------
+  // Status-returning so in-process callers and tests check outcomes
+  // directly; the bus handler wraps failures into Nack responses on the
+  // wire. Migrations push through CallWithRetry, so a lossy bus costs
+  // retries, not VMs.
+  StatusOr<CreateVmResponse> Create(const CreateVmRequest& request);
+  Status Migrate(const MigrateCommand& command);
+  Status Suspend();
+  Status Wake();
+
  private:
   struct VmRecord {
     VmConfigFile config;
@@ -54,8 +64,6 @@ class HostAgent {
   };
 
   ControlMessage Handle(const ControlMessage& request);
-  ControlMessage HandleCreate(const CreateVmRequest& request);
-  ControlMessage HandleMigrate(const MigrateCommand& command);
   HostStatsReport BuildStats() const;
 
   RpcBus* bus_;

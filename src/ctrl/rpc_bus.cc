@@ -1,5 +1,8 @@
 #include "src/ctrl/rpc_bus.h"
 
+#include <algorithm>
+
+#include "src/fault/fault.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -42,6 +45,23 @@ StatusOr<ControlMessage> RpcBus::Call(const std::string& from, const std::string
   if (it == endpoints_.end()) {
     return Status::NotFound("no such endpoint: " + to);
   }
+  // An injected drop loses the exchange on the wire: the handler never runs
+  // and the caller (or CallWithRetry) must handle kUnavailable. Endpoint
+  // lookup stays first so "agent gone" keeps its distinct kNotFound.
+  if (injector_ && injector_->SampleRpcDrop(now_)) {
+    ++dropped_;
+    Record(from, to, "DROPPED " + EncodeMessage(request));
+    return Status::Unavailable("rpc to " + to + " dropped (injected)");
+  }
+  SimTime delay;
+  if (injector_ && injector_->SampleRpcDelay(now_)) {
+    ++delayed_;
+    delay = injector_->config().rpc_delay;
+    total_delay_ += delay;
+    // The delay recovers by itself once the wire stops stalling; the span
+    // below stretches to cover it.
+    injector_->RecordRecovered(FaultClass::kRpcDelay, now_, now_ + delay);
+  }
   ++calls_;
   // Request leg over the wire.
   std::string request_line = EncodeMessage(request);
@@ -55,7 +75,7 @@ StatusOr<ControlMessage> RpcBus::Call(const std::string& from, const std::string
   std::string response_line = EncodeMessage(response);
   Record(to, from, response_line);
   if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
-    t->Complete("rpc", CallSpanName(request), now_, now_,
+    t->Complete("rpc", CallSpanName(request), now_, now_ + delay,
                 obs::TraceArgs{-1, -1,
                                static_cast<int64_t>(request_line.size() +
                                                     response_line.size())});
@@ -65,6 +85,29 @@ StatusOr<ControlMessage> RpcBus::Call(const std::string& from, const std::string
     m->counter("rpc.bytes")->Increment(request_line.size() + response_line.size());
   }
   return DecodeMessage(response_line);
+}
+
+StatusOr<ControlMessage> RpcBus::CallWithRetry(const std::string& from,
+                                               const std::string& to,
+                                               const ControlMessage& request) {
+  int max_attempts = injector_ && injector_->enabled() ? injector_->config().max_rpc_attempts : 1;
+  SimTime backoff =
+      injector_ && injector_->enabled() ? injector_->config().rpc_backoff_initial : SimTime::Zero();
+  for (int attempt = 1;; ++attempt) {
+    StatusOr<ControlMessage> result = Call(from, to, request);
+    if (result.ok() || result.status().code() != StatusCode::kUnavailable ||
+        attempt >= max_attempts) {
+      return result;
+    }
+    // Dropped delivery: back off and re-send. The backoff span is the
+    // recovery record the chaos tests pair with the drop's injection.
+    ++retries_;
+    total_backoff_ += backoff;
+    if (injector_) {
+      injector_->RecordRecovered(FaultClass::kRpcDrop, now_, now_ + backoff);
+    }
+    backoff = std::min(backoff + backoff, injector_->config().rpc_backoff_cap);
+  }
 }
 
 std::vector<std::string> RpcBus::log() const {

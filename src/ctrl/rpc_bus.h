@@ -17,6 +17,8 @@
 
 namespace oasis {
 
+class FaultInjector;
+
 class RpcBus {
  public:
   // Handles one decoded request and produces the response message.
@@ -33,6 +35,20 @@ class RpcBus {
   StatusOr<ControlMessage> Call(const std::string& from, const std::string& to,
                                 const ControlMessage& request);
 
+  // Call() plus the recovery policy for lossy transports: a delivery the
+  // fault injector drops (kUnavailable) is retried up to
+  // FaultConfig::max_rpc_attempts times with capped exponential backoff.
+  // Without an injector this is exactly Call(). Backoff time is accounted in
+  // total_backoff() (the in-process bus cannot advance the simulated clock
+  // itself).
+  StatusOr<ControlMessage> CallWithRetry(const std::string& from, const std::string& to,
+                                         const ControlMessage& request);
+
+  // Attaches the fault injector that decides per-delivery drop/delay; null
+  // (the default) makes delivery loss-free.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   // Publishes the simulated clock so diagnostics (tracer spans) carry
   // sim-time timestamps. Callers that don't run under a simulator may skip
   // this; spans then land at time zero.
@@ -43,6 +59,12 @@ class RpcBus {
   uint64_t calls() const { return calls_; }
   // Wire bytes across both legs of every exchange (requests + responses).
   uint64_t bytes_transferred() const { return bytes_; }
+  // Deliveries the injector dropped / delayed, and the retry accounting.
+  uint64_t dropped() const { return dropped_; }
+  uint64_t delayed() const { return delayed_; }
+  uint64_t retries() const { return retries_; }
+  SimTime total_backoff() const { return total_backoff_; }
+  SimTime total_delay() const { return total_delay_; }
 
   // The most recent wire lines, oldest first ("from->to TYPE|..."). At most
   // kLogLimit entries are retained; the ring enforces the bound structurally
@@ -54,8 +76,14 @@ class RpcBus {
   void Record(const std::string& from, const std::string& to, const std::string& line);
 
   std::unordered_map<std::string, Handler> endpoints_;
+  FaultInjector* injector_ = nullptr;
   uint64_t calls_ = 0;
   uint64_t bytes_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t delayed_ = 0;
+  uint64_t retries_ = 0;
+  SimTime total_backoff_;
+  SimTime total_delay_;
   SimTime now_;
   // Fixed-capacity ring: slot = recorded_ % kLogLimit.
   static constexpr size_t kLogLimit = 64;

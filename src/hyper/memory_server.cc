@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/log.h"
+#include "src/fault/fault.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -32,9 +33,16 @@ SimTime MemoryServer::Upload(SimTime now, VmId vm, uint64_t compressed_bytes) {
 
 StatusOr<SimTime> MemoryServer::ServePageRequest(SimTime now, VmId vm, uint64_t page_number) {
   (void)now;
+  if (failed_) {
+    return Status::Unavailable("memory server failed");
+  }
   auto it = images_.find(vm);
   if (it == images_.end()) {
     return Status::NotFound("no image for vm " + std::to_string(vm));
+  }
+  if (injector_ && injector_->SampleServeFailure(now, static_cast<int64_t>(vm))) {
+    Fail(now);
+    return Status::Aborted("memory server died serving vm " + std::to_string(vm));
   }
   ++pages_served_;
   uint64_t chunk = page_number / kPagesPerChunk;
@@ -108,6 +116,29 @@ void MemoryServer::PowerOff(SimTime now) {
 Joules MemoryServer::EnergyUsed(SimTime now) {
   meter_.Advance(now);
   return meter_.total_joules();
+}
+
+void MemoryServer::Fail(SimTime now) {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  failed_since_ = now;
+  OASIS_CLOG(kWarning, "memsrv") << "board failed at " << now.seconds() << " s";
+  PowerOff(now);
+}
+
+void MemoryServer::Repair(SimTime now) {
+  if (!failed_) {
+    return;
+  }
+  failed_ = false;
+  sas_.InjectOutage(failed_since_, now - failed_since_);
+  if (injector_) {
+    injector_->RecordRecovered(FaultClass::kMemoryServerFailure, failed_since_, now);
+  }
+  OASIS_CLOG(kInfo, "memsrv") << "board replaced at " << now.seconds() << " s";
+  PowerOn(now);
 }
 
 }  // namespace oasis

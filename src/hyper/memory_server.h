@@ -23,6 +23,8 @@
 
 namespace oasis {
 
+class FaultInjector;
+
 struct MemoryServerConfig {
   // The SAS channel the host uses to push images (§4.3: 128 MiB/s).
   double sas_bytes_per_sec = kSasBytesPerSec;
@@ -68,6 +70,18 @@ class MemoryServer {
   uint64_t pages_served() const { return pages_served_; }
   uint64_t cache_hits() const { return cache_hits_; }
 
+  // --- fault injection -----------------------------------------------------
+  // With an injector attached, a page serve can kill the whole board
+  // (FaultClass::kMemoryServerFailure); without one, Fail/Repair still model
+  // an externally detected board failure.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  // The board dies: stops serving and drawing power until Repair().
+  void Fail(SimTime now);
+  // Replaces the board. Images survive (they live on the shared drive), but
+  // uploads queued during the outage drain only after the repair.
+  void Repair(SimTime now);
+  bool failed() const { return failed_; }
+
  private:
   bool CacheLookupInsert(VmId vm, uint64_t chunk);
 
@@ -80,6 +94,9 @@ class MemoryServer {
   EnergyMeter meter_;
   uint64_t pages_served_ = 0;
   uint64_t cache_hits_ = 0;
+  FaultInjector* injector_ = nullptr;
+  bool failed_ = false;
+  SimTime failed_since_;
 };
 
 }  // namespace oasis

@@ -35,7 +35,27 @@ ObsConfig ObsConfig::FromEnv() {
   if (const char* level = std::getenv("OASIS_LOG_LEVEL")) {
     config.log_level = level;
   }
+  if (const char* seed = std::getenv("OASIS_SEED")) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(seed, &end, 0);
+    if (end != seed && *end == '\0') {
+      config.has_seed = true;
+      config.seed = static_cast<uint64_t>(value);
+    } else {
+      OASIS_LOG(kWarning) << "unparseable OASIS_SEED: " << seed;
+    }
+  }
   return config;
+}
+
+bool ApplySeedOverride(uint64_t* seed) {
+  ObsConfig config = ObsConfig::FromEnv();
+  if (!config.has_seed) {
+    return false;
+  }
+  OASIS_LOG(kInfo) << "OASIS_SEED=" << config.seed << " overrides seed " << *seed;
+  *seed = config.seed;
+  return true;
 }
 
 ObsScope::ObsScope(const ObsConfig& config) : config_(config) {

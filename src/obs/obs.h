@@ -14,11 +14,15 @@
 //                            anything else Chrome trace_event JSON
 //   OASIS_METRICS=<path>     enable metrics; CSV snapshot written at exit
 //   OASIS_TRACE_CAPACITY=<n> ring-buffer size in events (default 65536)
+//   OASIS_SEED=<n>           override the simulation seed; binaries apply it
+//                            via ApplySeedOverride so one env var re-seeds
+//                            every bench/example without editing code
 //   OASIS_LOG_LEVEL=<level>  debug|info|warning|error|off
 
 #ifndef OASIS_SRC_OBS_OBS_H_
 #define OASIS_SRC_OBS_OBS_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/obs/metrics.h"
@@ -32,6 +36,8 @@ struct ObsConfig {
   std::string metrics_path;  // empty = metrics disabled
   size_t trace_capacity = Tracer::kDefaultCapacity;
   std::string log_level;  // empty = leave the global level alone
+  bool has_seed = false;  // OASIS_SEED present and parseable
+  uint64_t seed = 0;
 
   bool TracingRequested() const { return !trace_path.empty(); }
   bool MetricsRequested() const { return !metrics_path.empty(); }
@@ -39,6 +45,10 @@ struct ObsConfig {
 
   static ObsConfig FromEnv();
 };
+
+// Replaces *seed with the OASIS_SEED value when the env var is set (and logs
+// the override so runs stay attributable). Returns true when it did.
+bool ApplySeedOverride(uint64_t* seed);
 
 // RAII: enables the requested global collectors on construction, exports and
 // disables them on destruction (or on an explicit Flush()).

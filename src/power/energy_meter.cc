@@ -61,6 +61,14 @@ SimTime StateTimeLedger::TimeIn(HostPowerState s) const {
   return time_in_[static_cast<size_t>(s)];
 }
 
+SimTime StateTimeLedger::TotalTime() const {
+  SimTime total = SimTime::Zero();
+  for (SimTime t : time_in_) {
+    total += t;
+  }
+  return total;
+}
+
 double StateTimeLedger::SleepFraction(SimTime horizon) const {
   if (horizon <= SimTime::Zero()) {
     return 0.0;

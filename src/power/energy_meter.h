@@ -55,6 +55,10 @@ class StateTimeLedger {
   SimTime TimeIn(HostPowerState s) const;
   HostPowerState state() const { return state_; }
   double SleepFraction(SimTime horizon) const;
+  // Total time across all states since construction (call Advance first).
+  // The chaos tests use it to assert the time accounting still balances
+  // after injected crashes: every host's ledger must cover the full run.
+  SimTime TotalTime() const;
 
   // Attaches the owning host's id to emitted trace events (-1 = untraced).
   void set_trace_host(int64_t host) { trace_host_ = host; }

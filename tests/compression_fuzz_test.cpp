@@ -5,11 +5,24 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/common/rng.h"
 #include "src/mem/compression.h"
 
 namespace oasis {
 namespace {
+
+// Trial counts are tunable so CI can bound the Release-mode run:
+// OASIS_FUZZ_TRIALS caps every fuzz loop at that many iterations.
+int FuzzTrials(int default_trials) {
+  const char* env = std::getenv("OASIS_FUZZ_TRIALS");
+  if (env == nullptr || *env == '\0') {
+    return default_trials;
+  }
+  int parsed = std::atoi(env);
+  return parsed > 0 ? std::min(parsed, default_trials) : default_trials;
+}
 
 std::vector<uint8_t> RandomBuffer(Rng& rng, size_t size, int alphabet) {
   std::vector<uint8_t> out(size);
@@ -37,7 +50,8 @@ INSTANTIATE_TEST_SUITE_P(Sizes, RoundTripSizeTest,
 
 TEST(CompressionFuzzTest, StructuredPatternsRoundTrip) {
   Rng rng(7);
-  for (int trial = 0; trial < 200; ++trial) {
+  const int trials = FuzzTrials(200);
+  for (int trial = 0; trial < trials; ++trial) {
     // Stitch together runs, repeats of earlier content, and noise.
     std::vector<uint8_t> input;
     int segments = 1 + static_cast<int>(rng.NextBelow(8));
@@ -75,7 +89,8 @@ TEST(CompressionFuzzTest, MutatedStreamsNeverCrash) {
   Rng rng(13);
   std::vector<uint8_t> input = RandomBuffer(rng, 2000, 7);
   std::vector<uint8_t> compressed = LzCompress(input);
-  for (int trial = 0; trial < 500; ++trial) {
+  const int trials = FuzzTrials(500);
+  for (int trial = 0; trial < trials; ++trial) {
     std::vector<uint8_t> mutated = compressed;
     int flips = 1 + static_cast<int>(rng.NextBelow(4));
     for (int f = 0; f < flips; ++f) {

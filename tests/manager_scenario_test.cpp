@@ -138,6 +138,59 @@ TEST(ManagerScenarioTest, NewHomeMovesInsteadOfWakingHome) {
   EXPECT_GT(m.capacity_exhaustions, 0u);
 }
 
+TEST(ManagerScenarioTest, ResumeStormUnderWolLossStaysBoundedAndLosesNoVm) {
+  // The 09:00 storm with a lossy wake path: every home wakes at once while
+  // WoL packets drop and S3 resumes hang. The recovery policy (re-send on a
+  // timeout, watchdog on the hang) bounds the extra user-visible delay by
+  // max_wol_retries * wol_retry_timeout + resume_watchdog per wake, and no
+  // VM may be lost or left partial while its user is active.
+  ClusterConfig config;
+  config.num_home_hosts = 6;
+  config.num_consolidation_hosts = 2;
+  config.vms_per_home = 8;
+  config.policy = ConsolidationPolicy::kFullToPartial;
+  TraceSet trace = IdleTrace(48);
+  for (int u = 0; u < 48; ++u) {
+    Activate(trace, u, IntervalAt(9.0), IntervalAt(17.0));
+  }
+  ClusterMetrics control = ClusterManager(config, trace).Run();
+
+  ClusterConfig lossy = config;
+  lossy.fault.enabled = true;
+  lossy.fault.wol_loss_probability = 0.4;
+  lossy.fault.resume_hang_probability = 0.25;
+  ClusterManager manager(lossy, trace);
+  ClusterMetrics m = manager.Run();
+
+  const FaultInjector& injector = manager.fault_injector();
+  EXPECT_GT(injector.injected(FaultClass::kWolLoss), 0u);
+  EXPECT_GT(injector.injected(FaultClass::kResumeHang), 0u);
+  EXPECT_EQ(m.faults_injected, m.faults_recovered);
+
+  // Bounded: a wake can lose at most max_wol_retries packets and hang once,
+  // so no transition stretches beyond the fault-free one by more than that.
+  double worst_wake_penalty_s =
+      lossy.fault.max_wol_retries * lossy.fault.wol_retry_timeout.seconds() +
+      lossy.fault.resume_watchdog.seconds();
+  ASSERT_GT(m.transition_delay_s.count(), 0u);
+  EXPECT_LE(m.transition_delay_s.Max(),
+            control.transition_delay_s.Max() + worst_wake_penalty_s + 0.5);
+
+  // Zero lost VMs: census intact and no active VM stranded partial.
+  size_t census = 0;
+  for (size_t h = 0; h < manager.num_hosts(); ++h) {
+    census += manager.GetHost(static_cast<HostId>(h)).vms().size();
+  }
+  EXPECT_EQ(census, static_cast<size_t>(config.TotalVms()));
+  for (size_t v = 0; v < manager.num_vms(); ++v) {
+    const VmSlot& vm = manager.GetVm(static_cast<VmId>(v));
+    EXPECT_TRUE(manager.GetHost(vm.location).vms().count(vm.id)) << "vm " << v;
+    if (vm.activity == VmActivity::kActive && !vm.migration_in_flight) {
+      EXPECT_NE(vm.residency, VmResidency::kPartial) << "vm " << v;
+    }
+  }
+}
+
 struct ShapeParam {
   int homes;
   int vms;

@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/exp/exp.h"
 #include "src/mem/dedup.h"
 #include "src/obs/obs.h"
 
@@ -20,12 +21,21 @@ namespace {
 
 void ClusterOvercommitSweep(int runs) {
   std::printf("\nCluster savings vs over-commit factor (FulltoPartial, 30+4, weekday):\n");
-  TextTable table({"over-commit", "weekday savings", "median VMs/consolidation host"});
-  for (double factor : {1.0, 1.25, 1.5}) {
+  const double factors[] = {1.0, 1.25, 1.5};
+  exp::ExperimentPlan plan;
+  std::vector<exp::RepetitionSpan> spans;
+  for (double factor : factors) {
     SimulationConfig config =
         PaperCluster(ConsolidationPolicy::kFullToPartial, 4, DayKind::kWeekday);
     config.cluster.memory_overcommit = factor;
-    RepeatedRunResult result = RunRepeated(config, runs);
+    spans.push_back(plan.AddRepetitions(config, runs));
+  }
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
+
+  TextTable table({"over-commit", "weekday savings", "median VMs/consolidation host"});
+  size_t datapoint = 0;
+  for (double factor : factors) {
+    RepeatedRunResult result = exp::CollectRepeated(results, spans[datapoint++]);
     double median_ratio = 0.0;
     if (!result.runs.empty() && !result.runs[0].metrics.consolidation_ratio.empty()) {
       median_ratio = result.runs[0].metrics.consolidation_ratio.Quantile(0.5);

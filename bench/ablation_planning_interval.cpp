@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/exp/exp.h"
 #include "src/obs/obs.h"
 
 int main() {
@@ -24,15 +25,24 @@ int main() {
                         "FulltoPartial, 30+4 cluster, weekday; the paper fixes this knob "
                         "at the trace's 5-minute resolution.");
 
-  TextTable table({"interval", "weekday savings", "partial migrations", "host wakes",
-                   "p99 delay (s)"});
-  for (double minutes : {5.0, 10.0, 15.0, 30.0}) {
+  const double interval_minutes[] = {5.0, 10.0, 15.0, 30.0};
+  exp::ExperimentPlan plan;
+  std::vector<exp::RepetitionSpan> spans;
+  for (double minutes : interval_minutes) {
     SimulationConfig config =
         PaperCluster(ConsolidationPolicy::kFullToPartial, 4, DayKind::kWeekday);
     config.cluster.planning_interval = SimTime::Minutes(minutes);
     // Keep the idleness-detection window at ~10 minutes of wall clock.
     config.cluster.idle_smoothing_intervals = std::max(1, static_cast<int>(10.0 / minutes));
-    RepeatedRunResult result = RunRepeated(config, runs);
+    spans.push_back(plan.AddRepetitions(config, runs));
+  }
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
+
+  TextTable table({"interval", "weekday savings", "partial migrations", "host wakes",
+                   "p99 delay (s)"});
+  size_t datapoint = 0;
+  for (double minutes : interval_minutes) {
+    RepeatedRunResult result = exp::CollectRepeated(results, spans[datapoint++]);
     const ClusterMetrics& m = result.runs[0].metrics;
     table.AddRow({TextTable::Num(minutes, 0) + " min",
                   TextTable::Pct(result.savings.mean()),

@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/exp/exp.h"
 #include "src/fault/fault.h"
 #include "src/obs/obs.h"
 #include "src/trace/trace_generator.h"
@@ -33,23 +34,28 @@ int main() {
   TraceGenerator generator(config.trace, config.seed ^ 0x7ACEBA5Eull);
   TraceSet trace = generator.GenerateTraceSet(config.cluster.TotalVms(), config.day);
 
-  ClusterConfig control_config = config.cluster;
-  control_config.seed = config.seed;
-  ClusterManager control(control_config, trace);
-  ClusterMetrics control_metrics = control.Run();
+  // Control and chaos share one pre-generated trace (fixed_trace pins it)
+  // and differ only in the fault config — two independent runs the
+  // experiment runner can execute side by side.
+  SimulationConfig control_config = config;
+  control_config.fixed_trace = trace;
+  SimulationConfig chaos_config = control_config;
+  chaos_config.cluster.fault = FaultConfig::ChaosDay();
 
-  ClusterConfig chaos_config = control_config;
-  chaos_config.fault = FaultConfig::ChaosDay();
-  ClusterManager chaos(chaos_config, trace);
-  ClusterMetrics chaos_metrics = chaos.Run();
-  const FaultInjector& injector = chaos.fault_injector();
+  exp::ExperimentPlan plan;
+  plan.Add(control_config);
+  plan.Add(chaos_config);
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
+  const ClusterMetrics& control_metrics = results[0].metrics;
+  const ClusterMetrics& chaos_metrics = results[1].metrics;
 
   TextTable faults({"fault class", "injected", "recovered", "skipped"});
   for (int c = 0; c < kNumFaultClasses; ++c) {
     FaultClass fault = static_cast<FaultClass>(c);
-    faults.AddRow({FaultClassName(fault), std::to_string(injector.injected(fault)),
-                   std::to_string(injector.recovered(fault)),
-                   std::to_string(injector.skipped(fault))});
+    faults.AddRow({FaultClassName(fault),
+                   std::to_string(chaos_metrics.fault_injected_by_class[c]),
+                   std::to_string(chaos_metrics.fault_recovered_by_class[c]),
+                   std::to_string(chaos_metrics.fault_skipped_by_class[c])});
   }
   faults.Print(std::cout);
 

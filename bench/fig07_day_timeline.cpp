@@ -12,14 +12,13 @@
 #include "bench/bench_util.h"
 #include "src/common/csv.h"
 #include "src/common/table.h"
+#include "src/exp/exp.h"
 #include "src/obs/obs.h"
 
 namespace oasis {
 namespace {
 
-void PrintDay(DayKind day) {
-  SimulationConfig config = PaperCluster(ConsolidationPolicy::kFullToPartial, 4, day);
-  SimulationResult result = ClusterSimulation(config).Run();
+void PrintDay(DayKind day, const SimulationConfig& config, const SimulationResult& result) {
   const auto& timeline = result.metrics.timeline;
 
   if (auto file = CsvFileFor(std::string("fig07_") + DayKindName(day))) {
@@ -72,7 +71,19 @@ int main() {
                         "Figure 7 - Active VMs and powered hosts over a simulation day",
                         "30 home + 4 consolidation hosts, 900 VMs, FulltoPartial policy "
                         "(paper: weekday peak 411 active VMs at ~14:00, trough ~06:30).");
-  PrintDay(DayKind::kWeekday);
-  PrintDay(DayKind::kWeekend);
+  // Both day panels are independent runs: plan them together and let the
+  // experiment runner execute them on OASIS_JOBS workers, then print in
+  // plan order (identical output at any job count).
+  exp::ExperimentPlan plan;
+  const DayKind days[] = {DayKind::kWeekday, DayKind::kWeekend};
+  std::vector<SimulationConfig> configs;
+  for (DayKind day : days) {
+    configs.push_back(PaperCluster(ConsolidationPolicy::kFullToPartial, 4, day));
+    plan.Add(configs.back());
+  }
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    PrintDay(days[i], configs[i], results[i]);
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "bench/bench_util.h"
 #include "src/common/csv.h"
 #include "src/common/table.h"
+#include "src/exp/exp.h"
 #include "src/obs/obs.h"
 
 namespace oasis {
@@ -27,12 +28,26 @@ void PrintPanel(DayKind day, int runs) {
         *csv_file,
         std::vector<std::string>{"policy", "consolidation_hosts", "savings", "stddev"});
   }
+  // Plan the whole panel grid (policy x hosts x runs) before executing:
+  // the runner spreads the independent runs over OASIS_JOBS workers and the
+  // second loop aggregates/prints in plan order, reproducing the serial
+  // output byte-for-byte.
+  exp::ExperimentPlan plan;
+  std::vector<exp::RepetitionSpan> spans;
+  const int host_counts[] = {2, 4, 6, 8, 10, 12};
+  for (ConsolidationPolicy policy : kAllPolicies) {
+    for (int hosts : host_counts) {
+      spans.push_back(plan.AddRepetitions(PaperCluster(policy, hosts, day), runs));
+    }
+  }
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
   TextTable table({"policy", "2 hosts", "4 hosts", "6 hosts", "8 hosts", "10 hosts",
                    "12 hosts"});
+  size_t datapoint = 0;
   for (ConsolidationPolicy policy : kAllPolicies) {
     std::vector<std::string> row{ConsolidationPolicyName(policy)};
-    for (int hosts : {2, 4, 6, 8, 10, 12}) {
-      RepeatedRunResult result = RunRepeated(PaperCluster(policy, hosts, day), runs);
+    for (int hosts : host_counts) {
+      RepeatedRunResult result = exp::CollectRepeated(results, spans[datapoint++]);
       row.push_back(TextTable::Pct(result.savings.mean()) + " +/- " +
                     TextTable::Pct(result.savings.sample_stddev()));
       if (csv) {

@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/exp/exp.h"
 #include "src/obs/obs.h"
 
 int main() {
@@ -20,10 +21,20 @@ int main() {
                         "VMs per powered consolidation host, 30 home + 4 consolidation "
                         "hosts, weekday (paper: median 60 Default vs 93 FulltoPartial).");
 
-  TextTable table({"policy", "p10", "p25", "median", "p75", "p90", "p99", "max"});
+  // One run per policy plus the FulltoPartial curve run at the end, planned
+  // together and executed on OASIS_JOBS workers; the serial harness ran the
+  // same five simulations one after another.
+  exp::ExperimentPlan plan;
   for (ConsolidationPolicy policy : kAllPolicies) {
-    SimulationConfig config = PaperCluster(policy, 4, DayKind::kWeekday);
-    SimulationResult result = ClusterSimulation(config).Run();
+    plan.Add(PaperCluster(policy, 4, DayKind::kWeekday));
+  }
+  plan.Add(PaperCluster(ConsolidationPolicy::kFullToPartial, 4, DayKind::kWeekday));
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
+
+  TextTable table({"policy", "p10", "p25", "median", "p75", "p90", "p99", "max"});
+  size_t next = 0;
+  for (ConsolidationPolicy policy : kAllPolicies) {
+    SimulationResult& result = results[next++];
     const EmpiricalCdf& cdf = result.metrics.consolidation_ratio;
     if (cdf.empty()) {
       table.AddRow({ConsolidationPolicyName(policy), "-", "-", "-", "-", "-", "-", "-"});
@@ -37,9 +48,7 @@ int main() {
   table.Print(std::cout);
 
   std::printf("\nCDF series (VMs per host at cumulative fraction), FulltoPartial:\n");
-  SimulationConfig config = PaperCluster(ConsolidationPolicy::kFullToPartial, 4,
-                                         DayKind::kWeekday);
-  SimulationResult result = ClusterSimulation(config).Run();
+  SimulationResult& result = results[next];
   for (auto& [value, fraction] : result.metrics.consolidation_ratio.Curve(10)) {
     std::printf("  %4.0f VMs -> %.0f%%\n", value, fraction * 100.0);
   }

@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/exp/exp.h"
 #include "src/obs/obs.h"
 
 int main() {
@@ -19,12 +20,18 @@ int main() {
                         "Per-policy network volume over one weekday, 30+4 cluster "
                         "(memory uploads travel the host-local SAS link, not the rack).");
 
+  // Four independent policy runs, planned up front for the runner.
+  exp::ExperimentPlan plan;
+  for (ConsolidationPolicy policy : kAllPolicies) {
+    plan.Add(PaperCluster(policy, 4, DayKind::kWeekday));
+  }
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
+
   TextTable table({"policy", "full migration", "descriptor", "on-demand", "reintegration",
                    "network total", "SAS uploads"});
+  size_t next = 0;
   for (ConsolidationPolicy policy : kAllPolicies) {
-    SimulationConfig config = PaperCluster(policy, 4, DayKind::kWeekday);
-    SimulationResult result = ClusterSimulation(config).Run();
-    const TrafficAccounting& t = result.metrics.traffic;
+    const TrafficAccounting& t = results[next++].metrics.traffic;
     table.AddRow({ConsolidationPolicyName(policy),
                   FormatBytes(t.Total(TrafficCategory::kFullMigration)),
                   FormatBytes(t.Total(TrafficCategory::kPartialDescriptor)),

@@ -12,6 +12,7 @@
 #include "bench/bench_util.h"
 #include "src/common/csv.h"
 #include "src/common/table.h"
+#include "src/exp/exp.h"
 #include "src/obs/obs.h"
 
 int main() {
@@ -29,13 +30,19 @@ int main() {
     csv = std::make_unique<CsvWriter>(
         *csv_file, std::vector<std::string>{"consolidation_hosts", "delay_s", "cdf"});
   }
+  // One run per consolidation-host count, executed by the runner.
+  const int host_counts[] = {2, 4, 6, 8, 10, 12};
+  exp::ExperimentPlan plan;
+  for (int hosts : host_counts) {
+    plan.Add(PaperCluster(ConsolidationPolicy::kFullToPartial, hosts, DayKind::kWeekday));
+  }
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
+
   TextTable table({"consolidation hosts", "transitions", "zero-delay", "p50 (s)", "p90 (s)",
                    "p99 (s)", "p99.99 (s)", "max (s)"});
-  for (int hosts : {2, 4, 6, 8, 10, 12}) {
-    SimulationConfig config =
-        PaperCluster(ConsolidationPolicy::kFullToPartial, hosts, DayKind::kWeekday);
-    SimulationResult result = ClusterSimulation(config).Run();
-    const EmpiricalCdf& d = result.metrics.transition_delay_s;
+  size_t next = 0;
+  for (int hosts : host_counts) {
+    const EmpiricalCdf& d = results[next++].metrics.transition_delay_s;
     if (d.empty()) {
       continue;
     }

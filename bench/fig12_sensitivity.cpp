@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/exp/exp.h"
 #include "src/obs/obs.h"
 
 int main() {
@@ -29,10 +30,11 @@ int main() {
 
   for (DayKind day : {DayKind::kWeekday, DayKind::kWeekend}) {
     std::printf("\n-- %s --\n", DayKindName(day));
-    TextTable table({"cluster shape", "+2 hosts", "+3 hosts", "+4 hosts"});
+    // Plan the day's full shape x consolidation grid, run it on OASIS_JOBS
+    // workers, then aggregate in plan order (byte-identical to serial).
+    exp::ExperimentPlan plan;
+    std::vector<exp::RepetitionSpan> spans;
     for (const Shape& shape : shapes) {
-      std::vector<std::string> row{std::to_string(shape.homes) + " x " +
-                                   std::to_string(shape.vms_per_home)};
       for (int cons : {2, 3, 4}) {
         SimulationConfig config = PaperCluster(ConsolidationPolicy::kFullToPartial, cons, day);
         config.cluster.num_home_hosts = shape.homes;
@@ -40,7 +42,19 @@ int main() {
         // host power) scales with the VM count, as §5.6's "vary the server
         // capacity" implies.
         config.cluster.SetVmsPerHome(shape.vms_per_home);
-        RepeatedRunResult result = RunRepeated(config, runs);
+        spans.push_back(plan.AddRepetitions(config, runs));
+      }
+    }
+    std::vector<SimulationResult> results = exp::RunParallel(plan);
+
+    TextTable table({"cluster shape", "+2 hosts", "+3 hosts", "+4 hosts"});
+    size_t datapoint = 0;
+    for (const Shape& shape : shapes) {
+      std::vector<std::string> row{std::to_string(shape.homes) + " x " +
+                                   std::to_string(shape.vms_per_home)};
+      for (int cons : {2, 3, 4}) {
+        (void)cons;
+        RepeatedRunResult result = exp::CollectRepeated(results, spans[datapoint++]);
         row.push_back(TextTable::Pct(result.savings.mean()));
       }
       table.AddRow(row);

@@ -1,0 +1,176 @@
+// Perf sweep: wall-clock throughput of the simulator core and the parallel
+// experiment runner on the Figure 12 sensitivity grid.
+//
+// The harness executes the same experiment plan (5 cluster shapes x 3
+// consolidation-host counts x OASIS_BENCH_RUNS repetitions, weekday) at a
+// sweep of job counts — always jobs=1 (the serial reference) plus doubling
+// steps up to OASIS_JOBS (default: hardware concurrency). For every step it
+// reports wall seconds, runs/sec, simulator events/sec and the speedup over
+// jobs=1, and writes the series to BENCH_sweep.json (override the path with
+// OASIS_BENCH_JSON).
+//
+// Determinism is enforced, not assumed: a checksum over every run's metrics
+// must be identical at every job count; the binary exits non-zero on a
+// mismatch. The checksum line in stdout is also stable across job counts,
+// so CI can diff it between OASIS_JOBS settings.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/exp/exp.h"
+#include "src/obs/obs.h"
+
+namespace oasis {
+namespace {
+
+// FNV-1a over the bit patterns of every run's headline metrics: equal
+// checksums mean equal simulation results, independent of execution order.
+uint64_t ResultsChecksum(const std::vector<SimulationResult>& results) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  auto fold = [&hash](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xFF;
+      hash *= 0x100000001b3ull;
+    }
+  };
+  auto fold_double = [&fold](double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    fold(bits);
+  };
+  for (const SimulationResult& result : results) {
+    const ClusterMetrics& m = result.metrics;
+    fold_double(m.TotalEnergy());
+    fold_double(m.baseline_energy);
+    fold_double(m.EnergySavings());
+    fold(m.full_migrations);
+    fold(m.partial_migrations);
+    fold(m.reintegrations);
+    fold(m.host_wakes);
+    fold(m.events_dispatched);
+  }
+  return hash;
+}
+
+exp::ExperimentPlan Fig12Grid(int runs) {
+  struct Shape {
+    int homes;
+    int vms_per_home;
+  };
+  const Shape shapes[] = {{30, 30}, {20, 45}, {18, 50}, {15, 60}, {10, 90}};
+  exp::ExperimentPlan plan;
+  for (const Shape& shape : shapes) {
+    for (int cons : {2, 3, 4}) {
+      SimulationConfig config =
+          PaperCluster(ConsolidationPolicy::kFullToPartial, cons, DayKind::kWeekday);
+      config.cluster.num_home_hosts = shape.homes;
+      config.cluster.SetVmsPerHome(shape.vms_per_home);
+      plan.AddRepetitions(config, runs);
+    }
+  }
+  return plan;
+}
+
+struct SweepPoint {
+  int jobs = 0;
+  double wall_s = 0.0;
+  uint64_t events = 0;
+  uint64_t checksum = 0;
+};
+
+}  // namespace
+}  // namespace oasis
+
+int main() {
+  // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  oasis::obs::ObsScope obs_scope;
+  using namespace oasis;
+  int runs = std::max(1, BenchRuns() - 2);
+  PrintExperimentHeader(std::cout, "Perf sweep - parallel experiment runner throughput",
+                        "Figure 12 sensitivity grid (5 shapes x 3 consolidation counts) "
+                        "executed at increasing OASIS_JOBS; results must be identical at "
+                        "every job count.");
+
+  // jobs sweep: 1, 2, 4, ... up to the requested maximum (always >= 1 step).
+  int max_jobs = exp::JobsFromEnv();
+  std::vector<int> jobs_sweep{1};
+  for (int jobs = 2; jobs < max_jobs; jobs *= 2) {
+    jobs_sweep.push_back(jobs);
+  }
+  if (max_jobs > 1) {
+    jobs_sweep.push_back(max_jobs);
+  }
+
+  exp::ExperimentPlan plan = Fig12Grid(runs);
+  std::printf("plan: %zu runs (%d reps per datapoint), sweeping jobs up to %d\n\n",
+              plan.size(), runs, max_jobs);
+
+  std::vector<SweepPoint> points;
+  for (int jobs : jobs_sweep) {
+    auto start = std::chrono::steady_clock::now();
+    std::vector<SimulationResult> results = exp::RunParallel(plan, jobs);
+    auto end = std::chrono::steady_clock::now();
+    SweepPoint point;
+    point.jobs = jobs;
+    point.wall_s = std::chrono::duration<double>(end - start).count();
+    for (const SimulationResult& result : results) {
+      point.events += result.metrics.events_dispatched;
+    }
+    point.checksum = ResultsChecksum(results);
+    points.push_back(point);
+    std::printf("  jobs=%-3d wall=%8.3fs  runs/s=%7.2f  events/s=%11.0f  speedup=%5.2fx\n",
+                jobs, point.wall_s, plan.size() / point.wall_s, point.events / point.wall_s,
+                points.front().wall_s / point.wall_s);
+  }
+
+  bool deterministic = true;
+  for (const SweepPoint& point : points) {
+    if (point.checksum != points.front().checksum || point.events != points.front().events) {
+      deterministic = false;
+    }
+  }
+  std::printf("\nresults checksum: %016llx across all job counts (%s)\n",
+              static_cast<unsigned long long>(points.front().checksum),
+              deterministic ? "identical" : "MISMATCH - determinism broken");
+
+  const char* json_path = std::getenv("OASIS_BENCH_JSON");
+  if (json_path == nullptr || *json_path == '\0') {
+    json_path = "BENCH_sweep.json";
+  }
+  std::ofstream json(json_path);
+  if (json) {
+    json << "{\n  \"bench\": \"perf_sweep\",\n  \"grid\": \"fig12_weekday\",\n";
+    json << "  \"runs\": " << plan.size() << ",\n";
+    json << "  \"reps_per_datapoint\": " << runs << ",\n";
+    char checksum_hex[32];
+    std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                  static_cast<unsigned long long>(points.front().checksum));
+    json << "  \"results_checksum\": \"" << checksum_hex << "\",\n";
+    json << "  \"deterministic\": " << (deterministic ? "true" : "false") << ",\n";
+    json << "  \"sweep\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& point = points[i];
+      json << "    {\"jobs\": " << point.jobs << ", \"wall_s\": " << point.wall_s
+           << ", \"runs_per_sec\": " << plan.size() / point.wall_s
+           << ", \"events_dispatched\": " << point.events
+           << ", \"events_per_sec\": " << point.events / point.wall_s
+           << ", \"speedup_vs_jobs1\": " << points.front().wall_s / point.wall_s << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+  }
+  return deterministic ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
+#include "src/exp/exp.h"
 #include "src/obs/obs.h"
 
 int main() {
@@ -19,13 +20,26 @@ int main() {
                         "FulltoPartial, 30+4 cluster; savings vs memory-server power "
                         "(paper: 28%/43% at 42.2 W rising to 41%/68% at 1 W).");
 
-  TextTable table({"memory server power (W)", "weekday savings", "weekend savings"});
-  for (double watts : {42.2, 16.0, 8.0, 4.0, 2.0, 1.0}) {
-    std::vector<std::string> row{TextTable::Num(watts, 1)};
+  // Plan the watts x day grid up front for the experiment runner.
+  const double watt_points[] = {42.2, 16.0, 8.0, 4.0, 2.0, 1.0};
+  exp::ExperimentPlan plan;
+  std::vector<exp::RepetitionSpan> spans;
+  for (double watts : watt_points) {
     for (DayKind day : {DayKind::kWeekday, DayKind::kWeekend}) {
       SimulationConfig config = PaperCluster(ConsolidationPolicy::kFullToPartial, 4, day);
       config.cluster.memory_server_power = MemoryServerProfile::WithPower(watts);
-      RepeatedRunResult result = RunRepeated(config, runs);
+      spans.push_back(plan.AddRepetitions(config, runs));
+    }
+  }
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
+
+  TextTable table({"memory server power (W)", "weekday savings", "weekend savings"});
+  size_t datapoint = 0;
+  for (double watts : watt_points) {
+    std::vector<std::string> row{TextTable::Num(watts, 1)};
+    for (DayKind day : {DayKind::kWeekday, DayKind::kWeekend}) {
+      (void)day;
+      RepeatedRunResult result = exp::CollectRepeated(results, spans[datapoint++]);
       row.push_back(TextTable::Pct(result.savings.mean()));
     }
     table.AddRow(row);

@@ -13,6 +13,7 @@
 
 #include "src/common/table.h"
 #include "src/core/oasis.h"
+#include "src/exp/exp.h"
 #include "src/obs/obs.h"
 
 int main(int argc, char** argv) {
@@ -33,10 +34,9 @@ int main(int argc, char** argv) {
               "%.0f%% weekday attendance.\n\n",
               home_hosts, vms_per_host, home_hosts * vms_per_host, attendance * 100.0);
 
-  TextTable table({"consolidation hosts", "weekday savings", "weekend savings",
-                   "instant transitions", "p99 delay (s)", "daily rack kWh"});
-  double best_savings = 0.0;
-  int best_hosts = 0;
+  // Plan the full sweep (8 host counts x weekday/weekend) so the runner can
+  // evaluate the what-if grid on OASIS_JOBS workers.
+  exp::ExperimentPlan plan;
   for (int cons = 1; cons <= 8; ++cons) {
     SimulationConfig config;
     config.cluster.num_home_hosts = home_hosts;
@@ -46,10 +46,19 @@ int main(int argc, char** argv) {
     config.trace.weekday_attendance = attendance;
     config.seed = 77;
     obs::ApplySeedOverride(&config.seed);
-
-    SimulationResult weekday = ClusterSimulation(config).Run();
+    plan.Add(config);
     config.day = DayKind::kWeekend;
-    SimulationResult weekend = ClusterSimulation(config).Run();
+    plan.Add(config);
+  }
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
+
+  TextTable table({"consolidation hosts", "weekday savings", "weekend savings",
+                   "instant transitions", "p99 delay (s)", "daily rack kWh"});
+  double best_savings = 0.0;
+  int best_hosts = 0;
+  for (int cons = 1; cons <= 8; ++cons) {
+    SimulationResult& weekday = results[(cons - 1) * 2];
+    SimulationResult& weekend = results[(cons - 1) * 2 + 1];
 
     const ClusterMetrics& m = weekday.metrics;
     double instant = m.transition_delay_s.count() > 0

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/core/oasis.h"
+#include "src/exp/exp.h"
 #include "src/obs/obs.h"
 
 namespace {
@@ -40,9 +41,12 @@ int main(int argc, char** argv) {
     config.day = oasis::DayKind::kWeekend;
   }
 
-  oasis::ClusterSimulation simulation(config);
-  oasis::SimulationResult result = simulation.Run();
-  const oasis::ClusterMetrics& m = result.metrics;
+  // A single-run plan through the experiment runner: with one run (or
+  // OASIS_JOBS=1) this is exactly ClusterSimulation(config).Run().
+  oasis::exp::ExperimentPlan plan;
+  plan.Add(config);
+  std::vector<oasis::SimulationResult> results = oasis::exp::RunParallel(plan);
+  const oasis::ClusterMetrics& m = results[0].metrics;
 
   std::printf("Oasis quickstart: one simulated weekday, %d home + %d consolidation hosts, "
               "%d VMs, policy=%s\n",

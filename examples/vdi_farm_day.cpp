@@ -13,6 +13,7 @@
 
 #include "src/common/table.h"
 #include "src/core/oasis.h"
+#include "src/exp/exp.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_stats.h"
 #include "src/obs/obs.h"
@@ -40,8 +41,11 @@ int main(int argc, char** argv) {
                 DayKindName(loaded->kind), argv[1]);
   }
 
-  ClusterSimulation simulation(config);
-  SimulationResult result = simulation.Run();
+  // Single-run plan via the experiment runner (identical to a direct
+  // ClusterSimulation::Run at any OASIS_JOBS setting).
+  exp::ExperimentPlan plan;
+  plan.Add(config);
+  SimulationResult result = std::move(exp::RunParallel(plan)[0]);
   const ClusterMetrics& m = result.metrics;
 
   if (argc <= 1) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "src/common/log.h"
@@ -36,9 +37,12 @@ void TraceMigration(const char* name, SimTime start, SimTime end, VmId vm, HostI
 
 }  // namespace
 
-ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace)
+ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace,
+                               obs::RunContext* run_context)
     : config_(config),
       trace_(std::move(trace)),
+      run_context_(run_context),
+      sim_(run_context),
       rng_(config.seed),
       ws_sampler_(config.working_set, config.seed ^ 0x5EED5EEDull),
       fault_(config.fault, config.seed ^ 0xFA0175EEDull) {
@@ -84,6 +88,14 @@ ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace)
 }
 
 ClusterMetrics ClusterManager::Run() {
+  // While the run executes, every instrumentation site below this frame —
+  // hosts, migrations, RPC bus, memory servers, the fault injector —
+  // resolves to the run-local collectors. Without a context of our own the
+  // thread's installed context (or the globals) stays in effect.
+  std::optional<obs::RunContext::Scope> obs_scope;
+  if (run_context_ != nullptr) {
+    obs_scope.emplace(run_context_);
+  }
   // Plans fire every planning_interval (§3.1's configurable knob); each tick
   // reads the activity trace at its own 5-minute resolution.
   SimTime end = SimTime::Hours(24.0);
@@ -111,6 +123,13 @@ ClusterMetrics ClusterManager::Run() {
   metrics_.baseline_energy = BaselineEnergy(config_, trace_);
   metrics_.faults_injected = fault_.TotalInjected();
   metrics_.faults_recovered = fault_.TotalRecovered();
+  for (int c = 0; c < kNumFaultClasses; ++c) {
+    FaultClass fault = static_cast<FaultClass>(c);
+    metrics_.fault_injected_by_class[c] = fault_.injected(fault);
+    metrics_.fault_recovered_by_class[c] = fault_.recovered(fault);
+    metrics_.fault_skipped_by_class[c] = fault_.skipped(fault);
+  }
+  metrics_.events_dispatched = sim_.events_dispatched();
   return metrics_;
 }
 

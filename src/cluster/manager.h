@@ -43,7 +43,13 @@ class ClusterManager {
  public:
   // `trace` must hold at least one user-day; VM u follows user
   // u % trace.size().
-  ClusterManager(const ClusterConfig& config, TraceSet trace);
+  //
+  // `run_context` (optional) scopes all observability of this cluster's run
+  // to a run-local collector — the experiment runner passes one per worker
+  // so concurrent runs never share a tracer or metrics registry. With
+  // nullptr the process-global collectors are used, exactly as before.
+  ClusterManager(const ClusterConfig& config, TraceSet trace,
+                 obs::RunContext* run_context = nullptr);
 
   // Simulates one full day and returns the collected metrics.
   ClusterMetrics Run();
@@ -146,6 +152,7 @@ class ClusterManager {
 
   ClusterConfig config_;
   TraceSet trace_;
+  obs::RunContext* run_context_ = nullptr;
   Simulator sim_;
   Rng rng_;
   WorkingSetSampler ws_sampler_;

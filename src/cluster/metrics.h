@@ -3,11 +3,13 @@
 #ifndef OASIS_SRC_CLUSTER_METRICS_H_
 #define OASIS_SRC_CLUSTER_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/units.h"
+#include "src/fault/fault.h"
 #include "src/net/traffic.h"
 
 namespace oasis {
@@ -64,6 +66,18 @@ struct ClusterMetrics {
   uint64_t faults_injected = 0;
   uint64_t faults_recovered = 0;
   uint64_t crash_vm_restarts = 0;  // VMs restarted at home after a host crash
+
+  // Per-class breakdown of the injector's accounting, indexed by FaultClass.
+  // Copied out of the manager at the end of a run so reports built from
+  // SimulationResult (e.g. chaos_day via the experiment runner) don't need
+  // the manager alive.
+  std::array<uint64_t, kNumFaultClasses> fault_injected_by_class{};
+  std::array<uint64_t, kNumFaultClasses> fault_recovered_by_class{};
+  std::array<uint64_t, kNumFaultClasses> fault_skipped_by_class{};
+
+  // Total simulator events dispatched during the run (perf accounting for
+  // bench/perf_sweep's events/sec).
+  uint64_t events_dispatched = 0;
 };
 
 }  // namespace oasis

@@ -10,9 +10,11 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
-// INT64_MIN = "no simulation clock published".
+// INT64_MIN = "no simulation clock published". Thread-local: each parallel
+// experiment worker runs its own simulator, so the published clock must not
+// leak across runs (and updating it must not race).
 constexpr int64_t kNoSimTime = INT64_MIN;
-std::atomic<int64_t> g_sim_time_us{kNoSimTime};
+thread_local int64_t t_sim_time_us = kNoSimTime;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -63,18 +65,15 @@ bool ParseLogLevel(const std::string& name, LogLevel* out) {
   return true;
 }
 
-void SetLogSimTime(SimTime now) {
-  g_sim_time_us.store(now.micros(), std::memory_order_relaxed);
-}
+void SetLogSimTime(SimTime now) { t_sim_time_us = now.micros(); }
 
-void ClearLogSimTime() { g_sim_time_us.store(kNoSimTime, std::memory_order_relaxed); }
+void ClearLogSimTime() { t_sim_time_us = kNoSimTime; }
 
 bool GetLogSimTime(SimTime* out) {
-  int64_t us = g_sim_time_us.load(std::memory_order_relaxed);
-  if (us == kNoSimTime) {
+  if (t_sim_time_us == kNoSimTime) {
     return false;
   }
-  *out = SimTime::Micros(us);
+  *out = SimTime::Micros(t_sim_time_us);
   return true;
 }
 

@@ -2,7 +2,9 @@
 
 namespace oasis {
 
-ClusterSimulation::ClusterSimulation(const SimulationConfig& config) : config_(config) {}
+ClusterSimulation::ClusterSimulation(const SimulationConfig& config,
+                                     obs::RunContext* run_context)
+    : config_(config), run_context_(run_context) {}
 
 SimulationResult ClusterSimulation::Run() {
   SimulationResult result;
@@ -14,7 +16,7 @@ SimulationResult ClusterSimulation::Run() {
   }
   ClusterConfig cluster = config_.cluster;
   cluster.seed = config_.seed;
-  ClusterManager manager(cluster, result.trace);
+  ClusterManager manager(cluster, result.trace, run_context_);
   result.metrics = manager.Run();
   return result;
 }

@@ -24,6 +24,7 @@
 #include "src/cluster/manager.h"
 #include "src/cluster/metrics.h"
 #include "src/common/stats.h"
+#include "src/obs/run_context.h"
 #include "src/trace/activity_trace.h"
 #include "src/trace/trace_generator.h"
 
@@ -53,7 +54,12 @@ struct SimulationResult {
 
 class ClusterSimulation {
  public:
-  explicit ClusterSimulation(const SimulationConfig& config);
+  // `run_context` (optional) scopes the run's observability — tracer,
+  // metrics, sim-time logging — to a run-local collector; the parallel
+  // experiment runner (src/exp) passes one per in-flight run. nullptr keeps
+  // the process-global collectors, exactly as before.
+  explicit ClusterSimulation(const SimulationConfig& config,
+                             obs::RunContext* run_context = nullptr);
 
   // Simulates one day.
   SimulationResult Run();
@@ -62,6 +68,7 @@ class ClusterSimulation {
 
  private:
   SimulationConfig config_;
+  obs::RunContext* run_context_ = nullptr;
 };
 
 // Aggregate of N independent runs (fresh trace sample + seed per run), the

@@ -124,12 +124,24 @@ std::vector<std::string> RpcBus::log() const {
 
 void RpcBus::Record(const std::string& from, const std::string& to, const std::string& line) {
   bytes_ += line.size();
-  std::string entry = from + "->" + to + " " + line;
-  if (ring_.size() < kLogLimit) {
-    ring_.push_back(std::move(entry));
-  } else {
-    ring_[recorded_ % kLogLimit] = std::move(entry);
+  if (ring_.capacity() < kLogLimit) {
+    // One up-front reservation; the ring never exceeds kLogLimit slots, so
+    // the vector never reallocates after this.
+    ring_.reserve(kLogLimit);
   }
+  std::string* slot;
+  if (ring_.size() < kLogLimit) {
+    ring_.emplace_back();
+    slot = &ring_.back();
+  } else {
+    slot = &ring_[recorded_ % kLogLimit];
+  }
+  // Build the entry in place: clear() keeps the slot's capacity, so a warmed
+  // ring records without touching the heap (Record sits on the per-call hot
+  // path — two executions per RPC exchange).
+  slot->clear();
+  slot->reserve(from.size() + to.size() + 3 + line.size());
+  slot->append(from).append("->").append(to).append(1, ' ').append(line);
   ++recorded_;
 }
 

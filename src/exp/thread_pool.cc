@@ -1,0 +1,106 @@
+#include "src/exp/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace oasis {
+namespace exp {
+
+ThreadPool::ThreadPool(int threads) {
+  int n = std::max(1, threads);
+  queues_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i]() { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(fn));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  // Lock ordering note: taking wake_mu_ here (not just notifying) closes the
+  // window where a worker has checked `queued_ == 0` but not yet parked.
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::RunOne(size_t self) {
+  std::function<void()> task;
+  {
+    // Own deque first, newest task (LIFO keeps the just-submitted work warm).
+    std::lock_guard<std::mutex> lock(queues_[self]->mu);
+    if (!queues_[self]->tasks.empty()) {
+      task = std::move(queues_[self]->tasks.back());
+      queues_[self]->tasks.pop_back();
+    }
+  }
+  if (!task) {
+    // Steal the oldest task from a sibling, scanning from the next worker so
+    // victims rotate instead of worker 0 being picked clean.
+    for (size_t step = 1; step < queues_.size() && !task; ++step) {
+      size_t victim = (self + step) % queues_.size();
+      std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+      if (!queues_[victim]->tasks.empty()) {
+        task = std::move(queues_[victim]->tasks.front());
+        queues_[victim]->tasks.pop_front();
+      }
+    }
+  }
+  if (!task) {
+    return false;
+  }
+  queued_.fetch_sub(1, std::memory_order_acquire);
+  task();
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    if (RunOne(self)) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this]() {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this]() {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace exp
+}  // namespace oasis

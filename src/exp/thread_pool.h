@@ -1,0 +1,70 @@
+// A small work-stealing thread pool for the experiment runner.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache-warm) and
+// steals FIFO from the other workers when its deque drains, so a handful of
+// long simulation runs spread across the pool without a central bottleneck.
+// Submission round-robins across the deques; sleeping workers park on a
+// condition variable and are woken per submission.
+//
+// The pool runs whole simulation runs (seconds each), not micro-tasks, so
+// the design favours simplicity over lock-free cleverness: one mutex per
+// deque plus one wake mutex is far below the noise floor at this grain.
+
+#ifndef OASIS_SRC_EXP_THREAD_POOL_H_
+#define OASIS_SRC_EXP_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oasis {
+namespace exp {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  // Waits for all submitted work, then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` for execution on some worker. Never runs inline.
+  void Submit(std::function<void()> fn);
+
+  // Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  // Pops one task (own deque back, else steal another's front) and runs it.
+  bool RunOne(size_t self);
+  void WorkerLoop(size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;  // workers park here when queues drain
+  std::condition_variable idle_cv_;  // Wait() parks here until pending_ == 0
+  std::atomic<size_t> queued_{0};    // tasks sitting in some deque
+  std::atomic<size_t> pending_{0};   // tasks submitted but not yet finished
+  std::atomic<size_t> next_queue_{0};
+  bool stop_ = false;  // guarded by wake_mu_
+};
+
+}  // namespace exp
+}  // namespace oasis
+
+#endif  // OASIS_SRC_EXP_THREAD_POOL_H_

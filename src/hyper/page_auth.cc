@@ -134,13 +134,37 @@ Status AuthenticatedServer::VerifyRequest(const AuthenticatedPageRequest& reques
     ++rejected_;
     return Status::FailedPrecondition("request failed authentication");
   }
-  auto [unused, inserted] = seen_nonces_[request.vm].insert(request.nonce);
-  (void)unused;
-  if (!inserted) {
+  NonceWindow& window = seen_nonces_[request.vm];
+  if (window.max_seen >= kReplayWindow &&
+      request.nonce <= window.max_seen - kReplayWindow) {
+    ++rejected_;
+    return Status::InvalidArgument("stale nonce (outside replay window)");
+  }
+  if (!window.seen.insert(request.nonce).second) {
     ++rejected_;
     return Status::InvalidArgument("replayed nonce");
   }
+  if (request.nonce > window.max_seen) {
+    window.max_seen = request.nonce;
+    if (window.seen.size() > 2 * kReplayWindow) {
+      PruneWindow(window);
+    }
+  }
   return Status::Ok();
+}
+
+void AuthenticatedServer::PruneWindow(NonceWindow& window) {
+  if (window.max_seen < kReplayWindow) {
+    return;
+  }
+  const uint64_t floor = window.max_seen - kReplayWindow;
+  for (auto it = window.seen.begin(); it != window.seen.end();) {
+    if (*it <= floor) {
+      it = window.seen.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 AuthenticatedPageResponse AuthenticatedServer::MakeResponse(VmId vm, uint64_t page_number,

@@ -16,8 +16,8 @@
 
 #include <array>
 #include <cstdint>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/status.h"
@@ -91,17 +91,33 @@ class AuthenticatedServer {
 
   // Validates authenticity + freshness; PERMISSION-style failures come back
   // as FAILED_PRECONDITION (bad MAC / unknown VM) or INVALID_ARGUMENT
-  // (replayed nonce).
+  // (replayed or stale nonce).
   Status VerifyRequest(const AuthenticatedPageRequest& request);
 
   AuthenticatedPageResponse MakeResponse(VmId vm, uint64_t page_number, PageBytes payload);
 
   uint64_t rejected_requests() const { return rejected_; }
 
+  // Anti-replay window: a request whose nonce trails the highest nonce seen
+  // for that VM by >= kReplayWindow is rejected as stale without consulting
+  // the seen-set. Bounds server memory per VM to O(window) regardless of
+  // how many pages it ever serves.
+  static constexpr uint64_t kReplayWindow = 1024;
+
  private:
+  // Nonces seen within (max_seen - kReplayWindow, max_seen]. Entries at or
+  // below the window floor are pruned — they are unrepresentable as fresh
+  // requests anyway. The prune is amortized: it runs when the set outgrows
+  // twice the window, so steady-state inserts stay O(1).
+  struct NonceWindow {
+    uint64_t max_seen = 0;
+    std::unordered_set<uint64_t> seen;
+  };
+  static void PruneWindow(NonceWindow& window);
+
   const KeyAuthority* authority_;
   std::unordered_map<VmId, AuthKey> admitted_;
-  std::unordered_map<VmId, std::set<uint64_t>> seen_nonces_;
+  std::unordered_map<VmId, NonceWindow> seen_nonces_;
   uint64_t rejected_ = 0;
 };
 

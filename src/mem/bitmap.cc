@@ -18,12 +18,22 @@ bool Bitmap::Get(size_t i) const {
 
 void Bitmap::Set(size_t i) {
   assert(i < bits_);
-  words_[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
+  uint64_t& word = words_[i / kWordBits];
+  uint64_t mask = uint64_t{1} << (i % kWordBits);
+  if ((word & mask) == 0) {
+    word |= mask;
+    ++cached_count_;
+  }
 }
 
 void Bitmap::Clear(size_t i) {
   assert(i < bits_);
-  words_[i / kWordBits] &= ~(uint64_t{1} << (i % kWordBits));
+  uint64_t& word = words_[i / kWordBits];
+  uint64_t mask = uint64_t{1} << (i % kWordBits);
+  if ((word & mask) != 0) {
+    word &= ~mask;
+    --cached_count_;
+  }
 }
 
 void Bitmap::SetRange(size_t first, size_t count) {
@@ -37,6 +47,8 @@ void Bitmap::ClearAll() {
   for (auto& w : words_) {
     w = 0;
   }
+  cached_count_ = 0;
+  count_valid_ = true;
 }
 
 void Bitmap::SetAll() {
@@ -48,14 +60,20 @@ void Bitmap::SetAll() {
   if (tail != 0 && !words_.empty()) {
     words_.back() &= (uint64_t{1} << tail) - 1;
   }
+  cached_count_ = bits_;
+  count_valid_ = true;
 }
 
 size_t Bitmap::Count() const {
-  size_t n = 0;
-  for (uint64_t w : words_) {
-    n += static_cast<size_t>(std::popcount(w));
+  if (!count_valid_) {
+    size_t n = 0;
+    for (uint64_t w : words_) {
+      n += static_cast<size_t>(std::popcount(w));
+    }
+    cached_count_ = n;
+    count_valid_ = true;
   }
-  return n;
+  return cached_count_;
 }
 
 void Bitmap::ForEachSet(const std::function<void(size_t)>& fn) const {
@@ -74,6 +92,7 @@ void Bitmap::OrWith(const Bitmap& other) {
   for (size_t i = 0; i < words_.size(); ++i) {
     words_[i] |= other.words_[i];
   }
+  count_valid_ = false;
 }
 
 void Bitmap::AndNotWith(const Bitmap& other) {
@@ -81,6 +100,7 @@ void Bitmap::AndNotWith(const Bitmap& other) {
   for (size_t i = 0; i < words_.size(); ++i) {
     words_[i] &= ~other.words_[i];
   }
+  count_valid_ = false;
 }
 
 size_t Bitmap::FindFirstClear(size_t from) const {

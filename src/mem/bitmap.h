@@ -24,7 +24,10 @@ class Bitmap {
   void ClearAll();
   void SetAll();
 
-  // Number of set bits.
+  // Number of set bits. O(1) while the memoized count is valid: bit-level
+  // mutators (Set/Clear/SetRange/ClearAll/SetAll) maintain it incrementally;
+  // word-level ops (OrWith/AndNotWith) invalidate it and the next Count()
+  // repopulates with one popcount pass.
   size_t Count() const;
 
   // Calls fn(i) for every set bit, in ascending order.
@@ -38,11 +41,16 @@ class Bitmap {
   // Index of the first clear bit at or after `from`; size() if none.
   size_t FindFirstClear(size_t from = 0) const;
 
-  bool operator==(const Bitmap& other) const = default;
+  // Equality is over the bits only — the count memo is excluded.
+  bool operator==(const Bitmap& other) const {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
 
  private:
   size_t bits_ = 0;
   std::vector<uint64_t> words_;
+  mutable size_t cached_count_ = 0;
+  mutable bool count_valid_ = true;  // an empty bitmap has a valid count of 0
 };
 
 }  // namespace oasis

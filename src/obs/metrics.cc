@@ -4,10 +4,10 @@
 #include <cmath>
 #include <fstream>
 
+#include "src/obs/run_context.h"
+
 namespace oasis {
 namespace obs {
-
-std::atomic<bool> MetricsRegistry::enabled_{false};
 
 Histogram::Histogram(std::string name)
     : name_(std::move(name)), buckets_(kNumBuckets, 0) {}
@@ -171,9 +171,55 @@ Status MetricsRegistry::WriteCsvFile(const std::string& path) const {
   return Status::Ok();
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, slot] : other.instruments_) {
+    if (slot.counter) {
+      if (Counter* c = counter(name)) {
+        c->Increment(slot.counter->value());
+      }
+    } else if (slot.gauge) {
+      if (Gauge* g = gauge(name)) {
+        g->Set(slot.gauge->value());
+      }
+    } else if (slot.histogram) {
+      Histogram* h = histogram(name);
+      if (h == nullptr) {
+        continue;
+      }
+      const Histogram& o = *slot.histogram;
+      if (o.count_ == 0) {
+        continue;
+      }
+      for (size_t i = 0; i < o.buckets_.size(); ++i) {
+        h->buckets_[i] += o.buckets_[i];
+      }
+      if (h->count_ == 0) {
+        h->min_ = o.min_;
+        h->max_ = o.max_;
+      } else {
+        h->min_ = std::min(h->min_, o.min_);
+        h->max_ = std::max(h->max_, o.max_);
+      }
+      h->count_ += o.count_;
+      h->sum_ += o.sum_;
+    }
+  }
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
   return *registry;
+}
+
+bool MetricsRegistry::Enabled() { return IfEnabled() != nullptr; }
+
+MetricsRegistry* MetricsRegistry::IfEnabled() {
+  if (RunContext* context = RunContext::Current()) {
+    MetricsRegistry& local = context->metrics();
+    return local.enabled() ? &local : nullptr;
+  }
+  MetricsRegistry& global = Global();
+  return global.enabled() ? &global : nullptr;
 }
 
 }  // namespace obs

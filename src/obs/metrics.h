@@ -130,13 +130,27 @@ class MetricsRegistry {
 
   size_t size() const { return instruments_.size(); }
 
+  // Folds `other` into this registry: counters add, gauges take the other's
+  // value, histograms merge bucket-wise. Same-name instruments of different
+  // kinds are skipped. The experiment runner calls this serially in plan
+  // order, so the merged registry matches a serial execution exactly.
+  void MergeFrom(const MetricsRegistry& other);
+
+  // Per-registry collection switch (a single relaxed atomic).
+  bool enabled() const { return enabled_inst_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_inst_.store(on, std::memory_order_relaxed); }
+
   // --- process-wide wiring -------------------------------------------------
+  // Instrumentation sites resolve through the thread's installed RunContext
+  // first (run-local registries for parallel experiments) and fall back to
+  // the process-global registry — the backward-compatible default.
   static MetricsRegistry& Global();
-  // Single relaxed load; the gate every instrumentation site checks.
-  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
-  static void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
-  // Global() when enabled, nullptr otherwise.
-  static MetricsRegistry* IfEnabled() { return Enabled() ? &Global() : nullptr; }
+  // Whether IfEnabled() would return a registry for this thread.
+  static bool Enabled();
+  // Back-compat switch for the global registry (ObsScope, tests).
+  static void SetEnabled(bool on) { Global().set_enabled(on); }
+  // The enabled run-local registry, else the enabled global, else nullptr.
+  static MetricsRegistry* IfEnabled();
 
  private:
   struct Instrument {
@@ -145,7 +159,7 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  static std::atomic<bool> enabled_;
+  std::atomic<bool> enabled_inst_{false};
   std::map<std::string, Instrument> instruments_;  // sorted for stable export
 };
 

@@ -1,0 +1,36 @@
+#include "src/obs/run_context.h"
+
+namespace oasis {
+namespace obs {
+namespace {
+
+thread_local RunContext* t_current = nullptr;
+
+}  // namespace
+
+RunContext::RunContext(size_t trace_capacity) : tracer_(trace_capacity) {}
+
+void RunContext::MirrorGlobalEnables() {
+  tracer_.set_enabled(Tracer::Global().enabled());
+  metrics_.set_enabled(MetricsRegistry::Global().enabled());
+}
+
+void RunContext::MergeIntoGlobals() {
+  if (Tracer::Global().enabled()) {
+    Tracer::Global().MergeFrom(tracer_);
+  }
+  if (MetricsRegistry::Global().enabled()) {
+    MetricsRegistry::Global().MergeFrom(metrics_);
+  }
+}
+
+RunContext* RunContext::Current() { return t_current; }
+
+RunContext::Scope::Scope(RunContext* context) : previous_(t_current) {
+  t_current = context;
+}
+
+RunContext::Scope::~Scope() { t_current = previous_; }
+
+}  // namespace obs
+}  // namespace oasis

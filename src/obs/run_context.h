@@ -1,0 +1,78 @@
+// Run-local observability: one tracer + metrics registry per simulation run.
+//
+// The process-global Tracer/MetricsRegistry singletons are single-writer by
+// design — fine for one simulation per process, a data race the moment the
+// experiment runner (src/exp) executes independent runs on worker threads.
+// A RunContext owns a private Tracer and MetricsRegistry; installing it
+// (RAII, per thread) reroutes every instrumentation site that goes through
+// Tracer::IfEnabled() / MetricsRegistry::IfEnabled() to the run-local
+// collectors, with zero changes at the sites themselves.
+//
+// When no context is installed (every pre-existing binary, and the
+// runner's jobs=1 legacy path) the globals are used exactly as before —
+// the global remains the backward-compatible default.
+//
+// Ownership rules (see DESIGN.md § Performance & parallel experiments):
+//   * the RunContext must outlive the run it is installed for;
+//   * at most one run per thread, one thread per run — contexts are not
+//     shared across threads;
+//   * after the run, the owner merges the collected data into the globals
+//     in a deterministic (plan) order via MergeFrom, so exported trace and
+//     metrics files are byte-identical to a serial execution.
+
+#ifndef OASIS_SRC_OBS_RUN_CONTEXT_H_
+#define OASIS_SRC_OBS_RUN_CONTEXT_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace oasis {
+namespace obs {
+
+class RunContext {
+ public:
+  // Collection in the new context starts disabled; MirrorGlobalEnables()
+  // copies the process-wide enable switches so a run records exactly what a
+  // serial execution would have recorded.
+  explicit RunContext(size_t trace_capacity = Tracer::kDefaultCapacity);
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  Tracer& tracer() { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // Enables run-local tracing/metrics iff the corresponding global collector
+  // is enabled right now.
+  void MirrorGlobalEnables();
+
+  // Appends this run's trace events and folds its metrics into the global
+  // collectors (no-op for a collector whose global twin is disabled). Called
+  // serially in plan order by the experiment runner.
+  void MergeIntoGlobals();
+
+  // The context installed on this thread, nullptr when instrumentation goes
+  // to the globals.
+  static RunContext* Current();
+
+  // RAII install/uninstall on the current thread; nests (restores the
+  // previously installed context).
+  class Scope {
+   public:
+    explicit Scope(RunContext* context);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    RunContext* previous_;
+  };
+
+ private:
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace obs
+}  // namespace oasis
+
+#endif  // OASIS_SRC_OBS_RUN_CONTEXT_H_

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/obs/run_context.h"
+
 namespace oasis {
 namespace obs {
 namespace {
@@ -45,6 +47,7 @@ Tracer::Tracer(size_t capacity) : capacity_(capacity ? capacity : 1) {}
 
 void Tracer::Clear() {
   total_ = 0;
+  merged_dropped_ = 0;
   ring_.clear();
   ring_.shrink_to_fit();
 }
@@ -193,9 +196,25 @@ Status Tracer::ExportJsonlFile(const std::string& path) const {
   return Status::Ok();
 }
 
+void Tracer::MergeFrom(const Tracer& other) {
+  merged_dropped_ += other.dropped();
+  for (const TraceEvent& event : other.Events()) {
+    Push(event);
+  }
+}
+
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();  // never destroyed
   return *tracer;
+}
+
+Tracer* Tracer::IfEnabled() {
+  if (RunContext* context = RunContext::Current()) {
+    Tracer& local = context->tracer();
+    return local.enabled() ? &local : nullptr;
+  }
+  Tracer& global = Global();
+  return global.enabled() ? &global : nullptr;
 }
 
 }  // namespace obs

@@ -82,8 +82,8 @@ class Tracer {
 
   // --- inspection ----------------------------------------------------------
   size_t size() const { return total_ < capacity_ ? static_cast<size_t>(total_) : capacity_; }
-  uint64_t total_recorded() const { return total_; }
-  uint64_t dropped() const { return total_ - size(); }
+  uint64_t total_recorded() const { return total_ + merged_dropped_; }
+  uint64_t dropped() const { return total_ - size() + merged_dropped_; }
   // Oldest-first copy of the retained events.
   std::vector<TraceEvent> Events() const;
 
@@ -95,14 +95,19 @@ class Tracer {
   void ExportJsonl(std::ostream& out) const;
   Status ExportJsonlFile(const std::string& path) const;
 
+  // Appends `other`'s retained events (oldest first) to this ring and folds
+  // `other`'s drop count into this tracer's, so both the retained suffix and
+  // the dropped/total counters match a serial execution when the experiment
+  // runner merges run-local tracers in plan order.
+  void MergeFrom(const Tracer& other);
+
   // --- process-wide wiring -------------------------------------------------
   static Tracer& Global();
-  // Global() when tracing is on, nullptr otherwise — the hot-path gate:
+  // The enabled tracer for this thread, nullptr otherwise — the hot-path
+  // gate. A thread running under an installed obs::RunContext resolves to
+  // the run-local tracer; everything else gets the global:
   //   if (obs::Tracer* t = obs::Tracer::IfEnabled()) t->Complete(...);
-  static Tracer* IfEnabled() {
-    Tracer& t = Global();
-    return t.enabled() ? &t : nullptr;
-  }
+  static Tracer* IfEnabled();
 
  private:
   void Push(const TraceEvent& event);
@@ -111,7 +116,8 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   size_t capacity_;
   std::vector<TraceEvent> ring_;  // allocated on first use
-  uint64_t total_ = 0;            // events ever recorded; ring_[total_ % capacity_] is next
+  uint64_t total_ = 0;            // events pushed here; ring_[total_ % capacity_] is next
+  uint64_t merged_dropped_ = 0;   // events a MergeFrom source had already dropped
 };
 
 }  // namespace obs

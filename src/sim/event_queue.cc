@@ -1,39 +1,94 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace oasis {
+namespace {
 
-EventId EventQueue::Schedule(SimTime when, EventFn fn) {
-  EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id});
-  live_.emplace(id, std::move(fn));
-  return id;
+// Min-heap ordering: the entry that pops first compares "greater".
+struct EntryAfter {
+  template <typename Entry>
+  bool operator()(const Entry& a, const Entry& b) const {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+constexpr uint32_t kSlotBits = 32;
+
+EventId MakeId(uint32_t slot, uint32_t generation) {
+  return (static_cast<EventId>(generation) << kSlotBits) | slot;
 }
 
-bool EventQueue::Cancel(EventId id) { return live_.erase(id) > 0; }
+uint32_t SlotOf(EventId id) { return static_cast<uint32_t>(id); }
+uint32_t GenerationOf(EventId id) { return static_cast<uint32_t>(id >> kSlotBits); }
+
+}  // namespace
+
+EventId EventQueue::Schedule(SimTime when, EventFn fn) {
+  uint32_t slot_index;
+  if (!free_slots_.empty()) {
+    slot_index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot_index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[slot_index];
+  // Generations start at 1 so no valid id ever equals kInvalidEventId.
+  ++slot.generation;
+  slot.live = true;
+  heap_.push_back(Entry{when, next_seq_++, slot_index, slot.generation, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  ++live_count_;
+  return MakeId(slot_index, slot.generation);
+}
+
+bool EventQueue::Cancel(EventId id) {
+  uint32_t slot_index = SlotOf(id);
+  if (slot_index >= slots_.size()) {
+    return false;
+  }
+  Slot& slot = slots_[slot_index];
+  if (!slot.live || slot.generation != GenerationOf(id)) {
+    return false;
+  }
+  // Tombstone: the heap entry stays (its generation no longer matches once
+  // the slot is recycled, and `live` is false until then) and is skipped on
+  // pop. The slot is immediately reusable.
+  slot.live = false;
+  free_slots_.push_back(slot_index);
+  --live_count_;
+  return true;
+}
 
 void EventQueue::SkipCancelled() const {
-  while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
-    heap_.pop();
+  while (!heap_.empty() && !EntryLive(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
   }
 }
 
 SimTime EventQueue::NextTime() const {
   SkipCancelled();
-  return heap_.empty() ? SimTime::Max() : heap_.top().time;
+  return heap_.empty() ? SimTime::Max() : heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::Pop() {
   SkipCancelled();
   assert(!heap_.empty() && "Pop() on empty EventQueue");
-  Entry top = heap_.top();
-  heap_.pop();
-  auto it = live_.find(top.id);
-  Popped out{top.time, top.id, std::move(it->second)};
-  live_.erase(it);
-  return out;
+  std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  Entry top = std::move(heap_.back());
+  heap_.pop_back();
+  Slot& slot = slots_[top.slot];
+  slot.live = false;
+  free_slots_.push_back(top.slot);
+  --live_count_;
+  return Popped{top.time, MakeId(top.slot, top.generation), std::move(top.fn)};
 }
 
 }  // namespace oasis

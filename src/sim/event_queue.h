@@ -1,16 +1,19 @@
 // Cancellable discrete-event queue.
 //
-// Events are closures scheduled at absolute simulated times. Cancellation is
-// lazy: a cancelled event stays in the heap but is skipped on pop, which
-// keeps both schedule and cancel cheap.
+// Events are closures scheduled at absolute simulated times. The closure
+// lives inline in the heap entry — Schedule and Pop touch only the heap
+// array, no per-event hash-map traffic on the simulator's hottest loop.
+//
+// Cancellation is lazy: Cancel flips a generation-checked tombstone in a
+// small slot table and the dead entry is skipped (and destroyed) when it
+// surfaces at the top of the heap. EventIds encode (slot, generation), so a
+// stale id held across slot reuse can never cancel the wrong event.
 
 #ifndef OASIS_SRC_SIM_EVENT_QUEUE_H_
 #define OASIS_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/units.h"
@@ -28,11 +31,12 @@ class EventQueue {
   EventId Schedule(SimTime when, EventFn fn);
 
   // Cancels a pending event; returns false if it already ran or was
-  // cancelled.
+  // cancelled. The closure of a cancelled event is destroyed lazily, when
+  // its tombstoned heap entry surfaces.
   bool Cancel(EventId id);
 
-  bool empty() const { return live_.empty(); }
-  size_t size() const { return live_.size(); }
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
 
   // Time of the earliest pending event; SimTime::Max() when empty.
   SimTime NextTime() const;
@@ -49,22 +53,34 @@ class EventQueue {
   struct Entry {
     SimTime time;
     uint64_t seq;
-    EventId id;
-    bool operator>(const Entry& o) const {
-      if (time != o.time) {
-        return time > o.time;
-      }
-      return seq > o.seq;
-    }
+    uint32_t slot;
+    uint32_t generation;
+    EventFn fn;
   };
 
-  // Drops heap entries whose event has been cancelled.
+  // Per-slot liveness; ids are (generation << 32) | slot. A slot is recycled
+  // as soon as its event runs or is cancelled — the generation bump makes
+  // any heap entry or EventId still referring to the old tenant inert.
+  struct Slot {
+    uint32_t generation = 0;
+    bool live = false;
+  };
+
+  bool EntryLive(const Entry& entry) const {
+    const Slot& slot = slots_[entry.slot];
+    return slot.live && slot.generation == entry.generation;
+  }
+  // Drops tombstoned entries off the heap top (destroying their closures).
   void SkipCancelled() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, EventFn> live_;
+  // Min-heap on (time, seq) maintained with push_heap/pop_heap: a plain
+  // vector lets Pop move the closure out of the extracted entry, which
+  // std::priority_queue's const top() forbids.
+  mutable std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t live_count_ = 0;
   uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
 };
 
 }  // namespace oasis

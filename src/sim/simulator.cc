@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "src/common/log.h"
-#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace oasis {
@@ -58,6 +57,19 @@ void Simulator::RunToCompletion() {
   }
 }
 
+obs::MetricsRegistry* Simulator::EffectiveMetrics() {
+  obs::MetricsRegistry* registry =
+      run_context_ != nullptr
+          ? (run_context_->metrics().enabled() ? &run_context_->metrics() : nullptr)
+          : obs::MetricsRegistry::IfEnabled();
+  if (registry != nullptr && registry != metrics_source_) {
+    metrics_source_ = registry;
+    dispatched_counter_ = registry->counter("sim.events_dispatched");
+    depth_gauge_ = registry->gauge("sim.queue_depth");
+  }
+  return registry;
+}
+
 bool Simulator::Step() {
   if (queue_.empty()) {
     return false;
@@ -67,17 +79,19 @@ bool Simulator::Step() {
   now_ = ev.time;
   SetLogSimTime(now_);
   ++dispatched_;
-  if (obs::MetricsRegistry::Enabled()) {
-    static obs::Counter* dispatched = obs::MetricsRegistry::Global().counter("sim.events_dispatched");
-    static obs::Gauge* depth = obs::MetricsRegistry::Global().gauge("sim.queue_depth");
-    dispatched->Increment();
-    depth->Set(static_cast<double>(queue_.size()));
+  if (EffectiveMetrics() != nullptr) {
+    dispatched_counter_->Increment();
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
   }
-  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
+  obs::Tracer* tracer =
+      run_context_ != nullptr
+          ? (run_context_->tracer().enabled() ? &run_context_->tracer() : nullptr)
+          : obs::Tracer::IfEnabled();
+  if (tracer != nullptr) {
     // Sample the queue-depth counter track; every dispatch would flood the
     // bounded ring and evict the spans the track is meant to contextualize.
     if ((dispatched_ & 0x3f) == 0) {
-      t->CounterValue("sim", "queue_depth", now_, static_cast<int64_t>(queue_.size()));
+      tracer->CounterValue("sim", "queue_depth", now_, static_cast<int64_t>(queue_.size()));
     }
   }
   ev.fn();

@@ -11,15 +11,23 @@
 #include <memory>
 
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/run_context.h"
 #include "src/sim/event_queue.h"
 
 namespace oasis {
 
 class Simulator {
  public:
-  Simulator() = default;
+  // `run_context` scopes this simulator's instrumentation to a run-local
+  // collector (parallel experiments); nullptr — the default — resolves
+  // through the thread's installed context or the process globals.
+  explicit Simulator(obs::RunContext* run_context = nullptr)
+      : run_context_(run_context) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  obs::RunContext* run_context() const { return run_context_; }
 
   SimTime now() const { return now_; }
 
@@ -61,9 +69,19 @@ class Simulator {
   uint64_t events_dispatched() const { return dispatched_; }
 
  private:
+  // The registry to instrument (run-local or global), nullptr when metrics
+  // are disabled. Cached instrument pointers are re-resolved whenever the
+  // effective registry changes, so one simulator object stays correct across
+  // enable/disable flips and context installs.
+  obs::MetricsRegistry* EffectiveMetrics();
+
   EventQueue queue_;
   SimTime now_ = SimTime::Zero();
   uint64_t dispatched_ = 0;
+  obs::RunContext* run_context_ = nullptr;
+  obs::MetricsRegistry* metrics_source_ = nullptr;
+  obs::Counter* dispatched_counter_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
 };
 
 }  // namespace oasis

@@ -112,5 +112,49 @@ TEST(BitmapTest, LargeBitmapCount) {
   EXPECT_EQ(b.Count(), (1u << 20) / 4096);
 }
 
+TEST(BitmapTest, CountStaysExactThroughEveryMutator) {
+  // The memoized count must agree with a from-scratch popcount after every
+  // kind of mutation, including redundant sets/clears and the word-level ops
+  // that invalidate the memo.
+  Bitmap b(200);
+  b.Set(3);
+  b.Set(3);  // redundant set must not double-count
+  b.Set(70);
+  EXPECT_EQ(b.Count(), 2u);
+  b.Clear(3);
+  b.Clear(3);  // redundant clear must not under-count
+  EXPECT_EQ(b.Count(), 1u);
+  b.SetRange(10, 20);
+  EXPECT_EQ(b.Count(), 21u);
+
+  Bitmap mask(200);
+  mask.SetRange(15, 100);
+  b.OrWith(mask);
+  EXPECT_EQ(b.Count(), 105u);  // {70} ∪ [10,30) ∪ [15,115) = [10,115)
+  b.AndNotWith(mask);
+  EXPECT_EQ(b.Count(), 5u);  // [10,15)
+  b.Set(0);
+  EXPECT_EQ(b.Count(), 6u);  // incremental updates resume after revalidation
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 200u);
+  b.ClearAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitmapTest, EqualityIgnoresCountMemoState) {
+  // Two bitmaps with identical bits must compare equal even when one has a
+  // valid memo and the other was just invalidated by a word-level op.
+  Bitmap a(64);
+  a.Set(5);
+  a.Set(9);
+  Bitmap b(64);
+  Bitmap mask(64);
+  mask.Set(5);
+  mask.Set(9);
+  b.OrWith(mask);  // same bits as `a`, memo invalidated
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Count(), b.Count());
+}
+
 }  // namespace
 }  // namespace oasis

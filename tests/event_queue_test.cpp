@@ -73,6 +73,77 @@ TEST(EventQueueTest, PopReportsTimeAndId) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueueTest, RecycledSlotGetsFreshGeneration) {
+  EventQueue q;
+  EventId first = q.Schedule(SimTime::Seconds(1), [] {});
+  ASSERT_TRUE(q.Cancel(first));
+  // The slot is recycled; the new id must differ so the old handle stays dead.
+  EventId second = q.Schedule(SimTime::Seconds(2), [] {});
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(q.Cancel(first));
+  EXPECT_TRUE(q.Cancel(second));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  EventId stale = q.Schedule(SimTime::Seconds(1), [] {});
+  q.Pop();  // consumes the event, frees the slot
+  bool ran = false;
+  q.Schedule(SimTime::Seconds(2), [&] { ran = true; });
+  // `stale` refers to the same slot as the live event but an older
+  // generation: cancelling through it must not touch the live event.
+  EXPECT_FALSE(q.Cancel(stale));
+  ASSERT_EQ(q.size(), 1u);
+  q.Pop().fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, IdReuseStress) {
+  EventQueue q;
+  // Hammer one slot through many schedule/cancel generations; every retired
+  // id must stay permanently invalid.
+  std::vector<EventId> retired;
+  for (int i = 0; i < 100; ++i) {
+    EventId id = q.Schedule(SimTime::Seconds(1), [] {});
+    for (EventId old : retired) {
+      EXPECT_FALSE(q.Cancel(old));
+    }
+    EXPECT_TRUE(q.Cancel(id));
+    retired.push_back(id);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, SizeCountsLiveEventsOnly) {
+  EventQueue q;
+  EventId a = q.Schedule(SimTime::Seconds(1), [] {});
+  q.Schedule(SimTime::Seconds(2), [] {});
+  EventId c = q.Schedule(SimTime::Seconds(3), [] {});
+  EXPECT_EQ(q.size(), 3u);
+  q.Cancel(a);
+  q.Cancel(c);
+  // Tombstones may still sit in the heap, but size() reports live events.
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.Pop().time, SimTime::Seconds(2));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelledClosureNotRunEvenWhenBuried) {
+  EventQueue q;
+  // Cancel an event that is *not* at the heap front, then drain: the
+  // tombstoned entry must be skipped wherever it surfaces.
+  std::vector<int> order;
+  q.Schedule(SimTime::Seconds(1), [&] { order.push_back(1); });
+  EventId mid = q.Schedule(SimTime::Seconds(2), [&] { order.push_back(2); });
+  q.Schedule(SimTime::Seconds(3), [&] { order.push_back(3); });
+  q.Cancel(mid);
+  while (!q.empty()) {
+    q.Pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
 TEST(EventQueueTest, ManyEventsStressOrder) {
   EventQueue q;
   for (int i = 999; i >= 0; --i) {

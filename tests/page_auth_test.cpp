@@ -101,6 +101,54 @@ TEST_F(PageAuthTest, TamperedPayloadIsDetected) {
   EXPECT_FALSE(client.VerifyResponse(renumbered).ok());
 }
 
+// Builds a request with an arbitrary nonce (the real client only counts
+// upward), MAC'd correctly so only the freshness check can reject it.
+AuthenticatedPageRequest ForgeRequest(const AuthKey& key, VmId vm, uint64_t page,
+                                      uint64_t nonce) {
+  std::vector<uint8_t> bytes;
+  for (uint64_t field : {static_cast<uint64_t>(vm), page, nonce}) {
+    for (size_t i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<uint8_t>(field >> (8 * i)));
+    }
+  }
+  AuthenticatedPageRequest request;
+  request.vm = vm;
+  request.page_number = page;
+  request.nonce = nonce;
+  request.mac = SipHash24(key, bytes);
+  return request;
+}
+
+TEST_F(PageAuthTest, NonceOutsideReplayWindowIsRejectedAsStale) {
+  const AuthKey key = authority_.IssueKey(7);
+  const uint64_t window = AuthenticatedServer::kReplayWindow;
+  ASSERT_TRUE(server_.VerifyRequest(ForgeRequest(key, 7, 1, window + 100)).ok());
+  // max_seen = window + 100, so the window floor sits at nonce 100: at or
+  // below it, a correctly-MAC'd request is rejected without being recorded.
+  Status stale = server_.VerifyRequest(ForgeRequest(key, 7, 1, 100));
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kInvalidArgument);
+  // Just inside the window is still fresh.
+  EXPECT_TRUE(server_.VerifyRequest(ForgeRequest(key, 7, 1, 101)).ok());
+}
+
+TEST_F(PageAuthTest, ReplayDetectionSurvivesWindowPrune) {
+  const AuthKey key = authority_.IssueKey(7);
+  const uint64_t window = AuthenticatedServer::kReplayWindow;
+  // Drive enough sequential nonces to trip the amortized prune (> 2x the
+  // window) several times over.
+  const uint64_t last = 3 * window;
+  for (uint64_t nonce = 1; nonce <= last; ++nonce) {
+    ASSERT_TRUE(server_.VerifyRequest(ForgeRequest(key, 7, 1, nonce)).ok());
+  }
+  // A seen nonce inside the window is still caught as a replay after pruning.
+  EXPECT_FALSE(server_.VerifyRequest(ForgeRequest(key, 7, 1, last - 10)).ok());
+  // A pruned (pre-window) nonce is caught by the staleness check instead.
+  EXPECT_FALSE(server_.VerifyRequest(ForgeRequest(key, 7, 1, window / 2)).ok());
+  uint64_t rejected_before = server_.rejected_requests();
+  EXPECT_EQ(rejected_before, 2u);
+}
+
 TEST_F(PageAuthTest, EvictionInvalidatesAccess) {
   AuthenticatedClient client(7, authority_.IssueKey(7));
   server_.EvictVm(7);

@@ -14,6 +14,7 @@
 #include "src/common/table.h"
 #include "src/exp/exp.h"
 #include "src/mem/dedup.h"
+#include "src/check/check.h"
 #include "src/obs/obs.h"
 
 namespace oasis {
@@ -74,6 +75,9 @@ void MemoryServerDedup() {
 
 int main() {
   // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  // Invariant checking per OASIS_CHECK (off | warn | strict); declared
+  // before ObsScope so traces flush before any strict exit.
+  oasis::check::CheckScope check_scope;
   oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   int runs = std::max(1, BenchRuns() - 2);

@@ -8,10 +8,14 @@
 
 #include "src/common/table.h"
 #include "src/mem/access_generator.h"
+#include "src/check/check.h"
 #include "src/obs/obs.h"
 
 int main() {
   // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  // Invariant checking per OASIS_CHECK (off | warn | strict); declared
+  // before ObsScope so traces flush before any strict exit.
+  oasis::check::CheckScope check_scope;
   oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout, "Figure 1 - Memory access pattern of idle VMs",

@@ -20,6 +20,7 @@
 #include "src/hyper/memtap.h"
 #include "src/hyper/migration_model.h"
 #include "src/hyper/workloads.h"
+#include "src/check/check.h"
 #include "src/obs/obs.h"
 
 namespace oasis {
@@ -96,6 +97,9 @@ RunResult OneRun(uint64_t seed) {
 
 int main() {
   // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  // Invariant checking per OASIS_CHECK (off | warn | strict); declared
+  // before ObsScope so traces flush before any strict exit.
+  oasis::check::CheckScope check_scope;
   oasis::obs::ObsScope obs_scope;
   using namespace oasis;
   PrintExperimentHeader(std::cout, "Figure 5 - Consolidation latencies for one VM",

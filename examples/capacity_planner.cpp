@@ -14,10 +14,14 @@
 #include "src/common/table.h"
 #include "src/core/oasis.h"
 #include "src/exp/exp.h"
+#include "src/check/check.h"
 #include "src/obs/obs.h"
 
 int main(int argc, char** argv) {
   // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  // Invariant checking per OASIS_CHECK (off | warn | strict); declared
+  // before ObsScope so traces flush before any strict exit.
+  oasis::check::CheckScope check_scope;
   oasis::obs::ObsScope obs_scope;
   using namespace oasis;
 

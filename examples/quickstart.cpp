@@ -11,6 +11,7 @@
 
 #include "src/core/oasis.h"
 #include "src/exp/exp.h"
+#include "src/check/check.h"
 #include "src/obs/obs.h"
 
 namespace {
@@ -32,6 +33,9 @@ oasis::ConsolidationPolicy ParsePolicy(const std::string& name) {
 
 int main(int argc, char** argv) {
   // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
+  // Invariant checking per OASIS_CHECK (off | warn | strict); declared
+  // before ObsScope so traces flush before any strict exit.
+  oasis::check::CheckScope check_scope;
   oasis::obs::ObsScope obs_scope;
   oasis::SimulationConfig config;
   oasis::obs::ApplySeedOverride(&config.seed);

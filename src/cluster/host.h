@@ -86,6 +86,10 @@ class ClusterHost {
   Joules HostEnergy(SimTime now);
   // Memory-server energy up to `now`.
   Joules MemoryServerEnergy(SimTime now);
+  // Side-effect-free views of the same integrals for the invariant checker:
+  // the meters stay untouched, so checking cannot perturb the simulation.
+  Joules HostEnergyAt(SimTime now) const { return meter_.EnergyAt(now); }
+  Joules MemoryServerEnergyAt(SimTime now) const { return ms_meter_.EnergyAt(now); }
   const StateTimeLedger& ledger() const { return ledger_; }
   void AdvanceLedger(SimTime now) { ledger_.Advance(now); }
 

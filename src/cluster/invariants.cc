@@ -1,0 +1,226 @@
+#include "src/cluster/invariants.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/cluster/manager.h"
+
+namespace oasis {
+namespace {
+
+// Relative tolerance for floating-point energy comparisons. The integrals
+// are exact piecewise sums, but a 24 h run accumulates hundreds of segment
+// additions per meter, so allow rounding noise well below anything a real
+// accounting bug would produce (a single mis-billed second at idle draw is
+// ~1e2 J; the tolerance on a day's energy is ~1e-2 J).
+constexpr double kEnergyRelTol = 1e-8;
+
+bool WithinEnvelope(double value, double lo, double hi) {
+  double slack = kEnergyRelTol * (1.0 + std::abs(hi));
+  return value >= lo - slack && value <= hi + slack;
+}
+
+int64_t H(HostId id) { return static_cast<int64_t>(id); }
+int64_t V(VmId id) { return static_cast<int64_t>(id); }
+
+}  // namespace
+
+void CheckClusterInvariants(const ClusterManager& manager, SimTime now,
+                            check::InvariantChecker& checker) {
+  const ClusterConfig& config = manager.config();
+  const size_t num_hosts = manager.num_hosts();
+  const size_t num_vms = manager.num_vms();
+  const HostId first_consolidation = static_cast<HostId>(config.num_home_hosts);
+
+  // --- VM partition: every VM resident on exactly one host ------------------
+  std::vector<uint32_t> residencies(num_vms, 0);
+  for (size_t h = 0; h < num_hosts; ++h) {
+    const ClusterHost& host = manager.GetHost(static_cast<HostId>(h));
+    int active_here = 0;
+    uint64_t reserved_expected = 0;
+    for (VmId vid : host.vms()) {
+      checker.Expect(static_cast<size_t>(vid) < num_vms, "cluster.vm_id_in_range", now,
+                     [&] { return "host set names unknown VM " + std::to_string(vid); },
+                     obs::TraceArgs{H(host.id()), V(vid)});
+      if (static_cast<size_t>(vid) >= num_vms) {
+        continue;
+      }
+      ++residencies[vid];
+      const VmSlot& vm = manager.GetVm(vid);
+      checker.Expect(vm.location == host.id(), "cluster.location_matches_residency", now,
+                     [&] {
+                       return "VM " + std::to_string(vid) + " resident on host " +
+                              std::to_string(host.id()) + " but location says " +
+                              std::to_string(vm.location);
+                     },
+                     obs::TraceArgs{H(host.id()), V(vid)});
+      if (vm.activity == VmActivity::kActive) {
+        ++active_here;
+      }
+      // Homes carry their own VMs' full reservation whether or not the VM is
+      // away (the §3.2 capacity guarantee), accounted below; a resident
+      // foreign VM only appears on consolidation hosts.
+      if (host.kind() == HostKind::kConsolidation) {
+        reserved_expected += vm.ReservedBytes();
+      }
+    }
+    if (host.kind() == HostKind::kHome) {
+      for (size_t v = 0; v < num_vms; ++v) {
+        const VmSlot& vm = manager.GetVm(static_cast<VmId>(v));
+        if (vm.home == host.id()) {
+          reserved_expected += vm.full_bytes;
+        }
+      }
+    }
+    checker.Expect(host.active_vms() == active_here, "cluster.active_count_balanced", now,
+                   [&] {
+                     return "host " + std::to_string(host.id()) + " counts " +
+                            std::to_string(host.active_vms()) + " active VMs, walk found " +
+                            std::to_string(active_here);
+                   },
+                   obs::TraceArgs{H(host.id())});
+    checker.Expect(host.reserved_bytes() == reserved_expected,
+                   "cluster.reservation_conservation", now,
+                   [&] {
+                     return "host " + std::to_string(host.id()) + " reserves " +
+                            std::to_string(host.reserved_bytes()) +
+                            " B but resident footprints sum to " +
+                            std::to_string(reserved_expected) + " B";
+                   },
+                   obs::TraceArgs{H(host.id()), -1,
+                                  static_cast<int64_t>(host.reserved_bytes())});
+    checker.Expect(host.reserved_bytes() <= host.capacity_bytes(),
+                   "cluster.capacity_respected", now,
+                   [&] {
+                     return "host " + std::to_string(host.id()) + " reserves " +
+                            std::to_string(host.reserved_bytes()) + " B of " +
+                            std::to_string(host.capacity_bytes()) + " B capacity";
+                   },
+                   obs::TraceArgs{H(host.id())});
+    checker.Expect(!host.memory_server_powered() || host.kind() == HostKind::kHome,
+                   "cluster.memory_server_on_homes_only", now,
+                   [&] {
+                     return "consolidation host " + std::to_string(host.id()) +
+                            " has a powered memory server";
+                   },
+                   obs::TraceArgs{H(host.id())});
+
+    // --- time and energy accounting ----------------------------------------
+    // The per-state ledger must cover the run to the microsecond (integer
+    // arithmetic, so exactly)...
+    checker.Expect(host.ledger().TotalTimeAt(now) == now, "power.ledger_covers_run", now,
+                   [&] {
+                     return "host " + std::to_string(host.id()) + " ledger covers " +
+                            std::to_string(host.ledger().TotalTimeAt(now).micros()) +
+                            " us of " + std::to_string(now.micros()) + " us";
+                   },
+                   obs::TraceArgs{H(host.id())});
+    // ...and the meter's integral must sit inside the envelope the power
+    // model allows for that state mix: powered draw is bounded by the idle
+    // and 20-VM measurements, the transition and sleep states are fixed
+    // draws.
+    const HostPowerProfile& p = config.host_power;
+    const StateTimeLedger& ledger = host.ledger();
+    double powered_s = ledger.TimeInAt(HostPowerState::kPowered, now).seconds();
+    double suspend_s = ledger.TimeInAt(HostPowerState::kSuspending, now).seconds();
+    double resume_s = ledger.TimeInAt(HostPowerState::kResuming, now).seconds();
+    double sleep_s = ledger.TimeInAt(HostPowerState::kSleeping, now).seconds();
+    double fixed = suspend_s * p.suspend_watts + resume_s * p.resume_watts +
+                   sleep_s * p.sleep_watts;
+    double lo = fixed + powered_s * p.idle_watts;
+    double hi = fixed + powered_s * p.watts_at_20_vms;
+    double host_energy = host.HostEnergyAt(now);
+    checker.Expect(WithinEnvelope(host_energy, lo, hi), "power.energy_within_model", now,
+                   [&] {
+                     return "host " + std::to_string(host.id()) + " energy " +
+                            std::to_string(host_energy) + " J outside the model envelope [" +
+                            std::to_string(lo) + ", " + std::to_string(hi) + "] J";
+                   },
+                   obs::TraceArgs{H(host.id())});
+    double ms_hi = config.memory_server_power.TotalWatts() * now.seconds();
+    double ms_energy = host.MemoryServerEnergyAt(now);
+    checker.Expect(WithinEnvelope(ms_energy, 0.0, ms_hi), "power.ms_energy_within_model",
+                   now,
+                   [&] {
+                     return "host " + std::to_string(host.id()) + " memory server energy " +
+                            std::to_string(ms_energy) + " J outside [0, " +
+                            std::to_string(ms_hi) + "] J";
+                   },
+                   obs::TraceArgs{H(host.id())});
+  }
+
+  // --- per-VM state machine -------------------------------------------------
+  for (size_t v = 0; v < num_vms; ++v) {
+    VmId vid = static_cast<VmId>(v);
+    const VmSlot& vm = manager.GetVm(vid);
+    checker.Expect(residencies[v] == 1, "cluster.vm_on_exactly_one_host", now,
+                   [&] {
+                     return "VM " + std::to_string(vid) + " resident on " +
+                            std::to_string(residencies[v]) + " hosts";
+                   },
+                   obs::TraceArgs{H(vm.location), V(vid)});
+    checker.Expect(vm.home < first_consolidation, "cluster.home_is_home",
+                   now,
+                   [&] {
+                     return "VM " + std::to_string(vid) + " homed at non-home host " +
+                            std::to_string(vm.home);
+                   },
+                   obs::TraceArgs{H(vm.home), V(vid)});
+    bool location_legal = true;
+    switch (vm.residency) {
+      case VmResidency::kFullAtHome:
+        location_legal = vm.location == vm.home;
+        break;
+      case VmResidency::kPartial:
+      case VmResidency::kFullAtConsolidation:
+        location_legal = vm.location >= first_consolidation &&
+                         static_cast<size_t>(vm.location) < num_hosts;
+        break;
+    }
+    checker.Expect(location_legal, "cluster.residency_location_consistent", now,
+                   [&] {
+                     return "VM " + std::to_string(vid) + " residency/location mismatch: "
+                            "home=" + std::to_string(vm.home) +
+                            " location=" + std::to_string(vm.location);
+                   },
+                   obs::TraceArgs{H(vm.location), V(vid)});
+    checker.Expect(vm.ws_unfetched <= vm.ws_bytes, "cluster.ws_fetch_conservation", now,
+                   [&] {
+                     return "VM " + std::to_string(vid) + " has " +
+                            std::to_string(vm.ws_unfetched) + " B unfetched of a " +
+                            std::to_string(vm.ws_bytes) + " B working set";
+                   },
+                   obs::TraceArgs{H(vm.location), V(vid),
+                                  static_cast<int64_t>(vm.ws_unfetched)});
+    checker.Expect(vm.residency == VmResidency::kPartial ||
+                       (vm.ws_bytes == 0 && vm.ws_unfetched == 0 && vm.dirty_bytes == 0),
+                   "cluster.full_vm_carries_no_partial_state", now,
+                   [&] {
+                     return "full VM " + std::to_string(vid) + " still carries ws=" +
+                            std::to_string(vm.ws_bytes) + " B unfetched=" +
+                            std::to_string(vm.ws_unfetched) + " B dirty=" +
+                            std::to_string(vm.dirty_bytes) + " B";
+                   },
+                   obs::TraceArgs{H(vm.location), V(vid)});
+    checker.Expect(vm.dirty_bytes <= config.volumes.dirty_cap_bytes,
+                   "cluster.dirty_within_cap", now,
+                   [&] {
+                     return "VM " + std::to_string(vid) + " dirtied " +
+                            std::to_string(vm.dirty_bytes) + " B past the cap of " +
+                            std::to_string(config.volumes.dirty_cap_bytes) + " B";
+                   },
+                   obs::TraceArgs{H(vm.location), V(vid),
+                                  static_cast<int64_t>(vm.dirty_bytes)});
+    checker.Expect(vm.migration_in_flight == (vm.pending_op != VmSlot::PendingOp::kNone),
+                   "cluster.migration_bookkeeping_paired", now,
+                   [&] {
+                     return "VM " + std::to_string(vid) + " migration_in_flight=" +
+                            (vm.migration_in_flight ? "true" : "false") +
+                            " disagrees with pending_op";
+                   },
+                   obs::TraceArgs{H(vm.location), V(vid)});
+  }
+}
+
+}  // namespace oasis

@@ -6,6 +6,8 @@
 #include <optional>
 #include <set>
 
+#include "src/check/check.h"
+#include "src/cluster/invariants.h"
 #include "src/common/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -120,6 +122,9 @@ ClusterMetrics ClusterManager::Run() {
   }
   sim_.RunUntil(end);
   AccrueEnergy(end);
+  if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
+    CheckClusterInvariants(*this, end, *c);
+  }
   metrics_.baseline_energy = BaselineEnergy(config_, trace_);
   metrics_.faults_injected = fault_.TotalInjected();
   metrics_.faults_recovered = fault_.TotalRecovered();
@@ -148,6 +153,11 @@ void ClusterManager::OnInterval(SimTime now, int interval) {
   PartialVmUpkeep(now);
   Plan(now);
   RecordSnapshot(now, interval);
+  if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
+    // The conservation walk runs after every planning round, so a violation
+    // is reported within one interval of the step that introduced it.
+    CheckClusterInvariants(*this, now, *c);
+  }
   // All the work above happens at one simulated instant; the round still
   // gets a span so Perfetto shows where each burst of migrations came from.
   if (obs::Tracer* t = obs::Tracer::IfEnabled()) {

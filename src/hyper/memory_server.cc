@@ -1,7 +1,9 @@
 #include "src/hyper/memory_server.h"
 
 #include <algorithm>
+#include <string>
 
+#include "src/check/check.h"
 #include "src/common/log.h"
 #include "src/fault/fault.h"
 #include "src/obs/metrics.h"
@@ -64,6 +66,24 @@ StatusOr<SimTime> MemoryServer::ServePageRequest(SimTime now, VmId vm, uint64_t 
       m->counter("memsrv.cache_hits")->Increment();
     }
     m->histogram("memsrv.page_serve_us")->Record(latency.micros());
+  }
+  if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
+    // Every cache hit was a served page, and a served page always pays at
+    // least the network round trip — a latency below it means the model
+    // skipped a hop.
+    c->Expect(cache_hits_ <= pages_served_, "memsrv.hits_within_serves", now,
+              [&] {
+                return std::to_string(cache_hits_) + " cache hits exceed " +
+                       std::to_string(pages_served_) + " pages served";
+              },
+              obs::TraceArgs{-1, static_cast<int64_t>(vm)});
+    c->Expect(latency >= config_.network_rtt, "memsrv.latency_includes_rtt", now,
+              [&] {
+                return "page served in " + std::to_string(latency.micros()) +
+                       " us, below the network RTT of " +
+                       std::to_string(config_.network_rtt.micros()) + " us";
+              },
+              obs::TraceArgs{-1, static_cast<int64_t>(vm)});
   }
   return latency;
 }

@@ -1,5 +1,8 @@
 #include "src/hyper/memtap.h"
 
+#include <string>
+
+#include "src/check/check.h"
 #include "src/common/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -31,6 +34,7 @@ StatusOr<SimTime> Memtap::FaultIn(SimTime now, uint64_t page) {
 }
 
 StatusOr<SimTime> Memtap::FaultInMany(SimTime now, uint64_t count, double locality) {
+  uint64_t fetched_before = pages_fetched_;
   SimTime total = SimTime::Zero();
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t page;
@@ -46,6 +50,21 @@ StatusOr<SimTime> Memtap::FaultInMany(SimTime now, uint64_t count, double locali
       return latency.status();
     }
     total += *latency;
+  }
+  if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
+    // Page conservation across a fault burst: exactly `count` pages were
+    // fetched from the memory server, each costing non-negative sim time.
+    c->Expect(pages_fetched_ - fetched_before == count, "memtap.fault_burst_conservation",
+              now,
+              [&] {
+                return "burst of " + std::to_string(count) + " faults fetched " +
+                       std::to_string(pages_fetched_ - fetched_before) + " pages";
+              },
+              obs::TraceArgs{-1, static_cast<int64_t>(vm_),
+                             static_cast<int64_t>(count * kPageSize)});
+    c->Expect(total >= SimTime::Zero(), "memtap.stall_non_negative", now, [&] {
+      return "fault burst stall of " + std::to_string(total.micros()) + " us is negative";
+    });
   }
   return total;
 }

@@ -1,5 +1,9 @@
 #include "src/hyper/migration_model.h"
 
+#include <string>
+
+#include "src/check/check.h"
+
 namespace oasis {
 
 FullMigrationPlan MigrationModel::PlanFullMigration(uint64_t memory_bytes) const {
@@ -29,6 +33,30 @@ PartialMigrationPlan MigrationModel::ExecutePartialMigration(Vm& vm, bool differ
       SimTime::Seconds(static_cast<double>(plan.descriptor_bytes) /
                        config_.descriptor_bytes_per_sec);
   plan.total = plan.upload_time + plan.descriptor_time;
+  if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
+    // Page/byte conservation for the partial-migration upload: the pages
+    // sent are bounded by what the guest ever touched, compression never
+    // inflates, and the epoch reset leaves no dirty page unaccounted.
+    c->Expect(plan.upload_pages <= vm.image().touched_pages() ||
+                  (!differential && plan.upload_pages == vm.image().touched_pages()),
+              "migration.upload_within_touched", SimTime::Zero(),
+              [&] {
+                return "upload of " + std::to_string(plan.upload_pages) +
+                       " pages exceeds touched set of " +
+                       std::to_string(vm.image().touched_pages()) + " pages";
+              },
+              obs::TraceArgs{-1, -1, static_cast<int64_t>(plan.upload_bytes_raw)});
+    c->Expect(plan.upload_bytes_compressed <= plan.upload_bytes_raw,
+              "migration.compression_never_inflates", SimTime::Zero(), [&] {
+                return "compressed " + std::to_string(plan.upload_bytes_compressed) +
+                       " B exceeds raw " + std::to_string(plan.upload_bytes_raw) + " B";
+              });
+    c->Expect(vm.image().dirty_pages() == 0, "migration.upload_clears_dirty",
+              SimTime::Zero(), [&] {
+                return std::to_string(vm.image().dirty_pages()) +
+                       " dirty pages survived the upload epoch reset";
+              });
+  }
   return plan;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "src/check/check.h"
 #include "src/obs/trace.h"
 
 namespace oasis {
@@ -56,6 +58,37 @@ PrecopyResult SimulatePrecopyMigration(uint64_t memory_bytes, const PrecopyConfi
     tracer->Complete("precopy", "precopy_migration", trace_start,
                      trace_start + result.total_duration,
                      obs::TraceArgs{-1, -1, static_cast<int64_t>(result.total_bytes)});
+  }
+  if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
+    // Byte conservation: the total on the wire is exactly the per-round
+    // volumes plus the stop-and-copy residue, round 0 ships the whole
+    // allocation, and a converged migration stopped at the threshold.
+    uint64_t rounds_total = 0;
+    for (const PrecopyRound& round : result.rounds) {
+      rounds_total += round.bytes_sent;
+    }
+    c->Expect(rounds_total + to_send == result.total_bytes, "precopy.byte_conservation",
+              trace_start,
+              [&] {
+                return "rounds " + std::to_string(rounds_total) + " B + residue " +
+                       std::to_string(to_send) + " B != total " +
+                       std::to_string(result.total_bytes) + " B";
+              },
+              obs::TraceArgs{-1, -1, static_cast<int64_t>(result.total_bytes)});
+    c->Expect(!result.rounds.empty() && result.rounds.front().bytes_sent == memory_bytes,
+              "precopy.first_round_ships_all", trace_start, [&] {
+                return "round 0 shipped " +
+                       std::to_string(result.rounds.empty()
+                                          ? 0
+                                          : result.rounds.front().bytes_sent) +
+                       " B of a " + std::to_string(memory_bytes) + " B image";
+              });
+    c->Expect(!result.converged || to_send <= config.stop_and_copy_threshold,
+              "precopy.converged_below_threshold", trace_start, [&] {
+                return "converged with residue " + std::to_string(to_send) +
+                       " B above threshold " +
+                       std::to_string(config.stop_and_copy_threshold) + " B";
+              });
   }
   return result;
 }

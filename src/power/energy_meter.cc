@@ -1,7 +1,9 @@
 #include "src/power/energy_meter.h"
 
 #include <cassert>
+#include <string>
 
+#include "src/check/check.h"
 #include "src/common/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -19,9 +21,42 @@ void EnergyMeter::Advance(SimTime now) {
   last_change_ = now;
 }
 
+namespace {
+
+// The host power state machine (§4.2 + fault model): S3 entry and exit pass
+// through their in-transit states, and only a crash may land in kSleeping
+// from anywhere (power loss skips the S3 latency). Everything else — e.g.
+// kPowered -> kResuming or kSleeping -> kPowered — indicates lost
+// bookkeeping.
+bool LegalPowerTransition(HostPowerState prev, HostPowerState next) {
+  if (prev == next || next == HostPowerState::kSleeping) {
+    return true;
+  }
+  return (prev == HostPowerState::kPowered && next == HostPowerState::kSuspending) ||
+         (prev == HostPowerState::kSleeping && next == HostPowerState::kResuming) ||
+         (prev == HostPowerState::kResuming && next == HostPowerState::kPowered);
+}
+
+}  // namespace
+
 void StateTimeLedger::Transition(SimTime now, HostPowerState next) {
   SimTime phase_start = last_change_;
   HostPowerState prev = state_;
+  if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
+    c->Expect(LegalPowerTransition(prev, next), "power.legal_transition", now,
+              [&] {
+                return std::string(HostPowerStateName(prev)) + " -> " +
+                       HostPowerStateName(next) + " is not a legal host power transition";
+              },
+              obs::TraceArgs{trace_host_});
+    c->Expect(now >= last_change_, "power.ledger_monotonic", now,
+              [&] {
+                return "ledger transition at " + std::to_string(now.micros()) +
+                       " us behind last change " + std::to_string(last_change_.micros()) +
+                       " us";
+              },
+              obs::TraceArgs{trace_host_});
+  }
   Advance(now);
   state_ = next;
   if (trace_host_ < 0 || prev == next) {

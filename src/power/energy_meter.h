@@ -33,6 +33,13 @@ class EnergyMeter {
   Joules total_joules() const { return joules_; }
   Watts current_draw() const { return current_draw_; }
 
+  // Energy accrued through `now` without mutating the meter — the invariant
+  // checker's view, guaranteed free of side effects on the simulation.
+  Joules EnergyAt(SimTime now) const {
+    return now > last_change_ ? joules_ + EnergyOver(current_draw_, now - last_change_)
+                              : joules_;
+  }
+
  private:
   SimTime last_change_;
   Watts current_draw_;
@@ -59,6 +66,20 @@ class StateTimeLedger {
   // The chaos tests use it to assert the time accounting still balances
   // after injected crashes: every host's ledger must cover the full run.
   SimTime TotalTime() const;
+
+  // Side-effect-free views through `now`: the recorded tallies plus the
+  // still-open segment. Integer microsecond arithmetic, so the invariant
+  // checker can require TotalTimeAt(now) == now exactly.
+  SimTime TimeInAt(HostPowerState s, SimTime now) const {
+    SimTime t = TimeIn(s);
+    if (s == state_ && now > last_change_) {
+      t += now - last_change_;
+    }
+    return t;
+  }
+  SimTime TotalTimeAt(SimTime now) const {
+    return now > last_change_ ? TotalTime() + (now - last_change_) : TotalTime();
+  }
 
   // Attaches the owning host's id to emitted trace events (-1 = untraced).
   void set_trace_host(int64_t host) { trace_host_ = host; }

@@ -1,8 +1,10 @@
 #include "src/sim/simulator.h"
 
 #include <cassert>
+#include <string>
 #include <utility>
 
+#include "src/check/check.h"
 #include "src/common/log.h"
 #include "src/obs/trace.h"
 
@@ -14,6 +16,13 @@ EventId Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
 }
 
 EventId Simulator::ScheduleAt(SimTime when, EventFn fn) {
+  if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
+    if (when < now_) {
+      c->Report("sim.schedule_into_past", now_,
+                "event scheduled at " + std::to_string(when.micros()) +
+                    " us, before now=" + std::to_string(now_.micros()) + " us");
+    }
+  }
   assert(when >= now_ && "scheduling into the past");
   return queue_.Schedule(when, std::move(fn));
 }
@@ -75,6 +84,16 @@ bool Simulator::Step() {
     return false;
   }
   EventQueue::Popped ev = queue_.Pop();
+  if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
+    // Event-queue sim-time monotonicity: dispatch order must never move the
+    // clock backwards. Per-event hot path, so only the failure reports; the
+    // passing case costs the IfEnabled load and one predicted branch.
+    if (ev.time < now_) {
+      c->Report("sim.event_time_monotonic", now_,
+                "popped event at " + std::to_string(ev.time.micros()) +
+                    " us behind clock " + std::to_string(now_.micros()) + " us");
+    }
+  }
   assert(ev.time >= now_);
   now_ = ev.time;
   SetLogSimTime(now_);

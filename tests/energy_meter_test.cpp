@@ -36,6 +36,66 @@ TEST(EnergyMeterTest, TransitionSpikeAccounting) {
   EXPECT_NEAR(m.total_joules(), 138.2 * 3.1 + 12.9 * 3600.0, 1e-6);
 }
 
+TEST(EnergyMeterTest, Table1TransitionEnergyTable) {
+  // Each row pins one Table 1 measurement: holding the state's draw for its
+  // measured dwell must integrate to exactly watts x seconds, and the two
+  // transition rows additionally match the hand-computed joule figures
+  // (3.1 s @ 138.2 W = 428.42 J suspending, 2.3 s @ 149.2 W = 343.16 J
+  // resuming).
+  const HostPowerProfile profile;
+  struct Case {
+    const char* name;
+    Watts watts;
+    SimTime dwell;
+    double expected_joules;
+  };
+  const Case kCases[] = {
+      {"suspend", profile.suspend_watts, profile.suspend_latency, 428.42},
+      {"resume", profile.resume_watts, profile.resume_latency, 343.16},
+      {"sleep-hour", profile.sleep_watts, SimTime::Hours(1), 12.9 * 3600.0},
+      {"idle-hour", profile.idle_watts, SimTime::Hours(1), 102.2 * 3600.0},
+      {"busy-hour", profile.watts_at_20_vms, SimTime::Hours(1), 137.9 * 3600.0},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    EnergyMeter meter(SimTime::Zero(), c.watts);
+    meter.Advance(c.dwell);
+    // The meter is a pure piecewise integral: bit-identical to EnergyOver.
+    EXPECT_EQ(meter.total_joules(), EnergyOver(c.watts, c.dwell));
+    // The hand figure is quoted at the measured latency; SimTime stores
+    // microseconds, so 2.3 s truncates to 2299999 us and the match is to
+    // ~1e-4 J, not exact.
+    EXPECT_NEAR(meter.total_joules(), c.expected_joules, 1e-2);
+    // The side-effect-free view the invariant checker uses agrees exactly.
+    EXPECT_EQ(meter.EnergyAt(c.dwell), meter.total_joules());
+  }
+
+  // A full suspend -> sleep -> resume cycle sums the rows exactly: the meter
+  // must account transition spikes and the sleep plateau with no loss.
+  EnergyMeter cycle(SimTime::Zero(), profile.suspend_watts);
+  SimTime t = profile.suspend_latency;
+  cycle.SetDraw(t, profile.sleep_watts);
+  t += SimTime::Hours(1);
+  cycle.SetDraw(t, profile.resume_watts);
+  t += profile.resume_latency;
+  cycle.Advance(t);
+  EXPECT_NEAR(cycle.total_joules(), 428.42 + 12.9 * 3600.0 + 343.16, 1e-2);
+}
+
+TEST(StateTimeLedgerTest, SideEffectFreeViewsCoverTheOpenSegment) {
+  StateTimeLedger ledger(SimTime::Zero(), HostPowerState::kPowered);
+  ledger.Transition(SimTime::Hours(2), HostPowerState::kSuspending);
+  // One hour into the still-open suspending segment (no Advance): the *At
+  // views must include it, and the total must cover the run exactly.
+  SimTime now = SimTime::Hours(3);
+  EXPECT_EQ(ledger.TimeInAt(HostPowerState::kPowered, now), SimTime::Hours(2));
+  EXPECT_EQ(ledger.TimeInAt(HostPowerState::kSuspending, now), SimTime::Hours(1));
+  EXPECT_EQ(ledger.TotalTimeAt(now), now);
+  // The views mutate nothing: the recorded tallies still end at the last
+  // transition.
+  EXPECT_EQ(ledger.TimeIn(HostPowerState::kSuspending), SimTime::Zero());
+}
+
 TEST(StateTimeLedgerTest, TracksTimePerState) {
   StateTimeLedger ledger(SimTime::Zero(), HostPowerState::kPowered);
   ledger.Transition(SimTime::Hours(2), HostPowerState::kSuspending);

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Regenerates the golden files pinned by the `ctest -L golden` suite
+# (quickstart, fig07, fig08, table3) from the binaries in a build tree:
+#
+#   tools/update_golden.sh [build_dir]     # default build dir: ./build
+#
+# The refreshed files land in tests/golden/; review the diff before
+# committing — the whole point of the suite is that behavioral drift is a
+# reviewed change, never an accident.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+
+if [ ! -d "$build" ]; then
+  echo "update_golden: build dir $build not found (run cmake -B build -S . first)" >&2
+  exit 1
+fi
+# RunGolden.cmake runs the binary from a scratch working directory, so the
+# build dir must be absolute.
+build=$(CDPATH= cd -- "$build" && pwd)
+
+update() {
+  name=$1
+  binary=$2
+  cmake -DBINARY="$build/$binary" \
+        -DGOLDEN="$repo/tests/golden/$name.txt" \
+        -DWORK="$build/golden_work" \
+        -DUPDATE=1 \
+        -P "$repo/cmake/RunGolden.cmake"
+}
+
+update quickstart examples/quickstart
+update fig07 bench/fig07_day_timeline
+update fig08 bench/fig08_energy_savings
+update table3 bench/table3_memory_server
+
+echo "update_golden: done - review 'git diff tests/golden/' before committing"

@@ -1,0 +1,81 @@
+// Ablation: pluggable consolidation strategies (control-plane policy layer).
+//
+// Runs the paper's standard rack for one weekday under every registered
+// ConsolidationStrategy and compares the headline outcomes side by side:
+// how much of the greedy §3 algorithm's savings a static bin-packer or a
+// purely local per-host rule can recover, and what each one pays in
+// migrations and network traffic. Run with OASIS_CHECK=strict to assert
+// that every strategy keeps the cluster invariants intact.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/check/check.h"
+#include "src/cluster/strategy.h"
+#include "src/common/table.h"
+#include "src/exp/exp.h"
+#include "src/obs/obs.h"
+
+namespace oasis {
+namespace {
+
+uint64_t NetworkTraffic(const ClusterMetrics& m) {
+  // Everything that crosses the rack network; memory uploads ride the
+  // shared SAS drive and are accounted separately.
+  return m.traffic.Total(TrafficCategory::kFullMigration) +
+         m.traffic.Total(TrafficCategory::kPartialDescriptor) +
+         m.traffic.Total(TrafficCategory::kOnDemandPages) +
+         m.traffic.Total(TrafficCategory::kReintegration);
+}
+
+void PolicySweep(int runs) {
+  const std::vector<std::string>& names = RegisteredStrategyNames();
+  exp::ExperimentPlan plan;
+  std::vector<exp::RepetitionSpan> spans;
+  for (const std::string& name : names) {
+    SimulationConfig config =
+        PaperCluster(ConsolidationPolicy::kFullToPartial, 4, DayKind::kWeekday);
+    // Per-row assignment after PaperCluster so it wins over OASIS_POLICY.
+    config.cluster.strategy_name = name;
+    spans.push_back(plan.AddRepetitions(config, runs));
+  }
+  std::vector<SimulationResult> results = exp::RunParallel(plan);
+
+  TextTable table({"strategy", "savings", "partial migs", "full migs", "host sleeps",
+                   "delay p50 (s)", "network traffic"});
+  for (size_t row = 0; row < names.size(); ++row) {
+    RepeatedRunResult result = exp::CollectRepeated(results, spans[row]);
+    const ClusterMetrics& m = result.runs[0].metrics;
+    double p50 = m.transition_delay_s.empty() ? 0.0 : m.transition_delay_s.Quantile(0.5);
+    table.AddRow({names[row], TextTable::Pct(result.savings.mean()),
+                  std::to_string(m.partial_migrations), std::to_string(m.full_migrations),
+                  std::to_string(m.host_sleeps), TextTable::Num(p50, 2),
+                  FormatBytes(NetworkTraffic(m))});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\noasis-greedy is the paper's §3 planner (and the byte-identical default);\n"
+      "first-fit-decreasing drops its incremental draining and power-aware host\n"
+      "choice for one static packing pass; local-threshold drops the global view\n"
+      "entirely and lets each home park its VMs on a fixed consolidation host.\n");
+}
+
+}  // namespace
+}  // namespace oasis
+
+int main() {
+  // Invariant checking per OASIS_CHECK (off | warn | strict); declared
+  // before ObsScope so traces flush before any strict exit.
+  oasis::check::CheckScope check_scope;
+  oasis::obs::ObsScope obs_scope;
+  using namespace oasis;
+  PrintExperimentHeader(std::cout, "Ablation - consolidation strategy",
+                        "The pluggable policy layer: the paper's greedy planner vs "
+                        "first-fit-decreasing packing vs purely local thresholds on "
+                        "the standard 30+4 weekday rack.");
+  PolicySweep(std::max(1, BenchRuns() - 2));
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "src/cluster/strategy.h"
 #include "src/core/oasis.h"
 #include "src/obs/obs.h"
 
@@ -25,6 +26,9 @@ inline SimulationConfig PaperCluster(ConsolidationPolicy policy, int consolidati
   config.day = day;
   config.seed = 20160418;  // EuroSys'16 opening day
   obs::ApplySeedOverride(&config.seed);
+  // Honour OASIS_POLICY; per-experiment strategy_name assignments made
+  // after this call still win (the ablation harness relies on that).
+  ApplyPolicyOverride(&config.cluster);
   return config;
 }
 

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "src/common/table.h"
+#include "src/cluster/strategy.h"
 #include "src/core/oasis.h"
 #include "src/exp/exp.h"
 #include "src/check/check.h"
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
     config.trace.weekday_attendance = attendance;
     config.seed = 77;
     obs::ApplySeedOverride(&config.seed);
+    ApplyPolicyOverride(&config.cluster);  // honour OASIS_POLICY
     plan.Add(config);
     config.day = DayKind::kWeekend;
     plan.Add(config);

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/cluster/strategy.h"
 #include "src/core/oasis.h"
 #include "src/exp/exp.h"
 #include "src/check/check.h"
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
   oasis::obs::ObsScope obs_scope;
   oasis::SimulationConfig config;
   oasis::obs::ApplySeedOverride(&config.seed);
+  oasis::ApplyPolicyOverride(&config.cluster);  // honour OASIS_POLICY
   config.cluster.policy =
       ParsePolicy(argc > 1 ? argv[1] : "fulltopartial");
   if (argc > 2 && std::string(argv[2]) == "weekend") {

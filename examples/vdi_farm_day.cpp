@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "src/common/table.h"
+#include "src/cluster/strategy.h"
 #include "src/core/oasis.h"
 #include "src/exp/exp.h"
 #include "src/trace/trace_io.h"
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   config.cluster.policy = ConsolidationPolicy::kFullToPartial;
   config.seed = 2016;
   obs::ApplySeedOverride(&config.seed);
+  ApplyPolicyOverride(&config.cluster);  // honour OASIS_POLICY
 
   if (argc > 1) {
     StatusOr<TraceFile> loaded = ReadTraceFromPath(argv[1]);

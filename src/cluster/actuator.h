@@ -1,0 +1,113 @@
+// The actuator: all cluster *mechanism*, owned by ClusterManager (see
+// DESIGN.md, "Control-plane layering").
+//
+// Strategies decide; the actuator executes. It is the only layer allowed to
+// mutate ClusterState: migrations and their serialization on per-host
+// channels, host wake/sleep (including fault-injected WoL loss and resume
+// hangs), memory-server refresh, activation servicing, fault recovery and
+// rollback, and energy accrual. Verbs take effect immediately at the
+// simulated instant they are called, so a strategy that interleaves reads
+// and verbs observes its own earlier actions through the live ClusterView.
+
+#ifndef OASIS_SRC_CLUSTER_ACTUATOR_H_
+#define OASIS_SRC_CLUSTER_ACTUATOR_H_
+
+#include <vector>
+
+#include "src/cluster/cluster_types.h"
+#include "src/cluster/host.h"
+#include "src/cluster/metrics.h"
+#include "src/cluster/strategy.h"
+#include "src/cluster/view.h"
+#include "src/common/rng.h"
+#include "src/mem/working_set.h"
+#include "src/sim/simulator.h"
+
+namespace oasis {
+
+class Actuator {
+ public:
+  // All references must outlive the actuator; ClusterManager owns every one
+  // of them and constructs the actuator last.
+  Actuator(const ClusterConfig& config, Simulator& sim, Rng& rng,
+           WorkingSetSampler& ws_sampler, FaultInjector& fault, ClusterState& state,
+           ClusterMetrics& metrics);
+
+  // --- strategy-facing verbs ----------------------------------------------
+  // One §3.2 FulltoPartial swap group: wakes `home_id`, live-migrates each
+  // idle full VM in `group` back home, re-consolidates it as a partial onto
+  // its previous consolidation host (when the freshly sampled working set
+  // fits), and schedules the home's sleep once its channel drains.
+  void FullToPartialSwapGroup(SimTime now, HostId home_id, const std::vector<VmId>& group);
+  // Executes a vacate plan: wakes destinations, moves each VM full or
+  // partial per its placement, and schedules each emptied home's sleep.
+  void CommitVacatePlan(SimTime now, const VacatePlan& plan);
+  // Moves one partial VM from its current consolidation host to `dest_id`
+  // (only the descriptor travels; the memory image stays on the home's
+  // memory server).
+  void DrainMove(SimTime now, VmId vm_id, HostId dest_id);
+
+  // --- manager entry points -----------------------------------------------
+  // Services an idle->active edge: aborts or rides out in-flight moves,
+  // converts in place, tries a new home (NewHome policy), or wakes the home
+  // and returns the whole group.
+  void HandleActivation(SimTime now, VmId vm_id, SimTime activation_time);
+  void AdjustActiveCount(SimTime now, HostId host, int delta);
+  // Per-partial-VM upkeep: on-demand fetch traffic, dirty-state growth, and
+  // working-set growth (which can exhaust a consolidation host and force a
+  // return).
+  void PartialVmUpkeep(SimTime now);
+  // Sweeps mechanism-owned sleep opportunities after planning.
+  void SleepIdleConsolidationHosts(SimTime now);
+  void MaybeSleepHomeHost(SimTime now, HostId host_id);
+  // Dispatches one FaultPlan event at its scheduled time.
+  void ApplyScheduledFault(SimTime now, const ScheduledFault& event);
+  void AccrueEnergy(SimTime now);
+
+ private:
+  // --- transition handling ------------------------------------------------
+  bool TryConvertInPlace(SimTime now, VmSlot& vm, SimTime activation_time);
+  bool TryNewHome(SimTime now, VmSlot& vm, SimTime activation_time);
+  // Returns when the last migration of the group completes (>= now even when
+  // there was nothing to move), so fault recovery can bound its spans.
+  SimTime ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
+                          SimTime activation_time);
+
+  // --- fault handling -----------------------------------------------------
+  void CrashHost(SimTime now, HostId id);
+  void FailMemoryServer(SimTime now, HostId home_id);
+  void InjectMigrationAbort(SimTime now, int64_t target);
+  bool RollbackMigration(SimTime now, VmSlot& vm);
+  bool RollbackFeasible(const VmSlot& vm) const;
+
+  // --- helpers ------------------------------------------------------------
+  ClusterHost& HostOf(HostId id) { return *state_.hosts[id]; }
+  VmSlot& Slot(VmId id) { return state_.vms[id]; }
+  // Sends the WoL and returns the time the host will be executing VMs. With
+  // fault injection the wake can lose WoL packets or hang in resume, pushing
+  // that time out; callers must use the returned value rather than asking
+  // the host directly.
+  StatusOr<SimTime> WakeHost(SimTime now, HostId id);
+  void RefreshMemoryServer(SimTime now, HostId home_id);
+  int CountPartialsHomedAt(HostId home_id) const;
+  // Marks `vm` in flight for [start, done) and schedules completion.
+  void ScheduleMigration(VmSlot& vm, SimTime start, SimTime done, VmSlot::PendingOp op,
+                         HostId source);
+  // Cancels a queued-but-not-started migration when the user returns.
+  bool TryAbortPendingMigration(SimTime now, VmSlot& vm);
+  void FinishMigration(SimTime now, VmId vm_id, uint32_t epoch);
+  uint64_t SampleWorkingSet();
+  void RecordPartialMigrationTraffic(SimTime now, VmSlot& vm);
+
+  const ClusterConfig& config_;
+  Simulator& sim_;
+  Rng& rng_;
+  WorkingSetSampler& ws_sampler_;
+  FaultInjector& fault_;
+  ClusterState& state_;
+  ClusterMetrics& metrics_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CLUSTER_ACTUATOR_H_

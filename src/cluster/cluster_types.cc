@@ -1,5 +1,7 @@
 #include "src/cluster/cluster_types.h"
 
+#include "src/cluster/strategy.h"
+
 namespace oasis {
 
 const char* ConsolidationPolicyName(ConsolidationPolicy p) {
@@ -12,6 +14,39 @@ const char* ConsolidationPolicyName(ConsolidationPolicy p) {
       return "FulltoPartial";
     case ConsolidationPolicy::kNewHome:
       return "NewHome";
+  }
+  return "?";
+}
+
+StatusOr<ConsolidationPolicy> ParseConsolidationPolicy(const std::string& name) {
+  constexpr ConsolidationPolicy kAll[] = {
+      ConsolidationPolicy::kOnlyPartial,
+      ConsolidationPolicy::kDefault,
+      ConsolidationPolicy::kFullToPartial,
+      ConsolidationPolicy::kNewHome,
+  };
+  for (ConsolidationPolicy p : kAll) {
+    if (name == ConsolidationPolicyName(p)) {
+      return p;
+    }
+  }
+  std::string valid;
+  for (ConsolidationPolicy p : kAll) {
+    if (!valid.empty()) {
+      valid += ", ";
+    }
+    valid += ConsolidationPolicyName(p);
+  }
+  return Status::InvalidArgument("unknown consolidation policy '" + name +
+                                 "' (valid: " + valid + ")");
+}
+
+const char* HostRoleName(HostRole role) {
+  switch (role) {
+    case HostRole::kHome:
+      return "home";
+    case HostRole::kConsolidation:
+      return "consolidation";
   }
   return "?";
 }
@@ -40,6 +75,11 @@ Status ClusterConfig::Validate() const {
   }
   if (idle_smoothing_intervals < 0) {
     return Status::InvalidArgument("idle smoothing must be non-negative");
+  }
+  if (!IsRegisteredStrategyName(strategy_name)) {
+    return Status::InvalidArgument("unknown consolidation strategy '" + strategy_name +
+                                   "' (registered: " + RegisteredStrategyNamesJoined() +
+                                   ")");
   }
   if (fault.enabled) {
     Status fault_ok = fault.Validate();

@@ -16,7 +16,9 @@
 namespace oasis {
 
 // The §3.2 consolidation policies, plus the partial-only baseline §5.3
-// evaluates against.
+// evaluates against. These are variants *within* the Oasis greedy strategy
+// family; the orthogonal ConsolidationStrategy axis (src/cluster/strategy.h)
+// swaps out the whole planning algorithm.
 enum class ConsolidationPolicy {
   kOnlyPartial,   // never full-migrate; a home sleeps only when all its VMs are idle
   kDefault,       // hybrid; consolidated VMs keep their form until capacity runs out
@@ -26,7 +28,17 @@ enum class ConsolidationPolicy {
 
 const char* ConsolidationPolicyName(ConsolidationPolicy p);
 
-enum class HostKind { kHome, kConsolidation };
+// Inverse of ConsolidationPolicyName (round-trip stable). Unknown names get
+// INVALID_ARGUMENT with a message listing every valid name.
+StatusOr<ConsolidationPolicy> ParseConsolidationPolicy(const std::string& name);
+
+// A host's structural role in the rack (§3.1): home hosts own VMs and their
+// memory servers; consolidation hosts only ever host guests and start the
+// day asleep. The role is carried on every ClusterHost — code must branch on
+// it rather than on id arithmetic against num_home_hosts.
+enum class HostRole { kHome, kConsolidation };
+
+const char* HostRoleName(HostRole role);
 
 // Fixed migration/transition parameters for the cluster simulation, straight
 // from §5.1 ("we use the conservative parameters from 4.4.2") and Table 1.
@@ -89,6 +101,12 @@ struct ClusterConfig {
     return static_cast<int>(static_cast<double>(host_cores) * cpu_overcommit);
   }
   ConsolidationPolicy policy = ConsolidationPolicy::kFullToPartial;
+  // Which ConsolidationStrategy plans each interval (src/cluster/strategy.h).
+  // Must name a registered strategy; the default is the paper's greedy
+  // algorithm and is guaranteed to reproduce the legacy monolithic manager
+  // byte for byte. Override per process with OASIS_POLICY (see
+  // ApplyPolicyOverride).
+  std::string strategy_name = "oasis-greedy";
   SimTime planning_interval = SimTime::Seconds(300);
   // A VM counts as idle for consolidation decisions only after this many
   // consecutive idle intervals (§3.1 determines idleness from resource-usage

@@ -7,10 +7,10 @@
 
 namespace oasis {
 
-ClusterHost::ClusterHost(HostId id, HostKind kind, const ClusterConfig& config,
+ClusterHost::ClusterHost(HostId id, HostRole role, const ClusterConfig& config,
                          bool initially_powered)
     : id_(id),
-      kind_(kind),
+      role_(role),
       power_(config.host_power),
       ms_watts_(config.memory_server_power.TotalWatts()),
       capacity_bytes_(static_cast<uint64_t>(static_cast<double>(config.host_memory_bytes) *

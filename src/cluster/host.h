@@ -18,10 +18,15 @@ namespace oasis {
 
 class ClusterHost {
  public:
-  ClusterHost(HostId id, HostKind kind, const ClusterConfig& config, bool initially_powered);
+  ClusterHost(HostId id, HostRole role, const ClusterConfig& config, bool initially_powered);
 
   HostId id() const { return id_; }
-  HostKind kind() const { return kind_; }
+  // The host's structural role (home vs consolidation, §3.1). All role
+  // branching goes through this — never through id arithmetic against
+  // num_home_hosts.
+  HostRole role() const { return role_; }
+  bool IsHomeHost() const { return role_ == HostRole::kHome; }
+  bool IsConsolidationHost() const { return role_ == HostRole::kConsolidation; }
   HostPowerState power_state() const { return state_; }
   bool IsPowered() const { return state_ == HostPowerState::kPowered; }
   bool IsAsleep() const { return state_ == HostPowerState::kSleeping; }
@@ -98,7 +103,7 @@ class ClusterHost {
   Watts CurrentDraw() const;
 
   HostId id_;
-  HostKind kind_;
+  HostRole role_;
   HostPowerProfile power_;
   Watts ms_watts_;
   uint64_t capacity_bytes_;

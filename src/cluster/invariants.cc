@@ -31,7 +31,6 @@ void CheckClusterInvariants(const ClusterManager& manager, SimTime now,
   const ClusterConfig& config = manager.config();
   const size_t num_hosts = manager.num_hosts();
   const size_t num_vms = manager.num_vms();
-  const HostId first_consolidation = static_cast<HostId>(config.num_home_hosts);
 
   // --- VM partition: every VM resident on exactly one host ------------------
   std::vector<uint32_t> residencies(num_vms, 0);
@@ -61,11 +60,11 @@ void CheckClusterInvariants(const ClusterManager& manager, SimTime now,
       // Homes carry their own VMs' full reservation whether or not the VM is
       // away (the §3.2 capacity guarantee), accounted below; a resident
       // foreign VM only appears on consolidation hosts.
-      if (host.kind() == HostKind::kConsolidation) {
+      if (host.IsConsolidationHost()) {
         reserved_expected += vm.ReservedBytes();
       }
     }
-    if (host.kind() == HostKind::kHome) {
+    if (host.IsHomeHost()) {
       for (size_t v = 0; v < num_vms; ++v) {
         const VmSlot& vm = manager.GetVm(static_cast<VmId>(v));
         if (vm.home == host.id()) {
@@ -98,7 +97,7 @@ void CheckClusterInvariants(const ClusterManager& manager, SimTime now,
                             std::to_string(host.capacity_bytes()) + " B capacity";
                    },
                    obs::TraceArgs{H(host.id())});
-    checker.Expect(!host.memory_server_powered() || host.kind() == HostKind::kHome,
+    checker.Expect(!host.memory_server_powered() || host.IsHomeHost(),
                    "cluster.memory_server_on_homes_only", now,
                    [&] {
                      return "consolidation host " + std::to_string(host.id()) +
@@ -160,8 +159,9 @@ void CheckClusterInvariants(const ClusterManager& manager, SimTime now,
                             std::to_string(residencies[v]) + " hosts";
                    },
                    obs::TraceArgs{H(vm.location), V(vid)});
-    checker.Expect(vm.home < first_consolidation, "cluster.home_is_home",
-                   now,
+    checker.Expect(static_cast<size_t>(vm.home) < num_hosts &&
+                       manager.GetHost(vm.home).IsHomeHost(),
+                   "cluster.home_is_home", now,
                    [&] {
                      return "VM " + std::to_string(vid) + " homed at non-home host " +
                             std::to_string(vm.home);
@@ -174,8 +174,8 @@ void CheckClusterInvariants(const ClusterManager& manager, SimTime now,
         break;
       case VmResidency::kPartial:
       case VmResidency::kFullAtConsolidation:
-        location_legal = vm.location >= first_consolidation &&
-                         static_cast<size_t>(vm.location) < num_hosts;
+        location_legal = static_cast<size_t>(vm.location) < num_hosts &&
+                         manager.GetHost(vm.location).IsConsolidationHost();
         break;
     }
     checker.Expect(location_legal, "cluster.residency_location_consistent", now,

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <optional>
-#include <set>
+#include <string>
 
 #include "src/check/check.h"
 #include "src/cluster/invariants.h"
@@ -13,31 +12,6 @@
 #include "src/obs/trace.h"
 
 namespace oasis {
-namespace {
-
-// Working-set growth per planning interval in bytes.
-uint64_t GrowthPerInterval(const ClusterConfig& config) {
-  double hours = config.planning_interval.hours();
-  uint64_t bytes = MiBToBytes(config.volumes.ws_growth_mib_per_hour * hours);
-  return (bytes / kPageSize) * kPageSize;
-}
-
-// One migration leg as a span on the destination host's track, plus the
-// per-kind counter. `name` must be a string literal.
-void TraceMigration(const char* name, SimTime start, SimTime end, VmId vm, HostId dest,
-                    uint64_t bytes) {
-  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
-    t->Complete("migration", name, start, end,
-                obs::TraceArgs{static_cast<int64_t>(dest), static_cast<int64_t>(vm),
-                               static_cast<int64_t>(bytes)});
-  }
-  if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
-    m->counter(std::string("cluster.migrations.") + name)->Increment();
-    m->histogram("cluster.migration_s")->Record((end - start).seconds());
-  }
-}
-
-}  // namespace
 
 ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace,
                                obs::RunContext* run_context)
@@ -47,27 +21,30 @@ ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace,
       sim_(run_context),
       rng_(config.seed),
       ws_sampler_(config.working_set, config.seed ^ 0x5EED5EEDull),
-      fault_(config.fault, config.seed ^ 0xFA0175EEDull) {
+      fault_(config.fault, config.seed ^ 0xFA0175EEDull),
+      strategy_(MakeStrategy(config.strategy_name)),
+      act_(config_, sim_, rng_, ws_sampler_, fault_, state_, metrics_) {
   assert(!trace_.empty() && "cluster needs at least one user-day");
   Status valid = config_.Validate();
   if (!valid.ok()) {
     OASIS_LOG(kError) << "invalid cluster config: " << valid.ToString();
   }
   assert(valid.ok());
+  assert(strategy_ != nullptr && "Validate() guarantees a registered strategy_name");
   // Hosts: homes first, then consolidation hosts (asleep by default, §3.1).
   for (int h = 0; h < config_.num_home_hosts; ++h) {
-    hosts_.push_back(std::make_unique<ClusterHost>(static_cast<HostId>(h), HostKind::kHome,
-                                                   config_, /*initially_powered=*/true));
+    state_.hosts.push_back(std::make_unique<ClusterHost>(
+        static_cast<HostId>(h), HostRole::kHome, config_, /*initially_powered=*/true));
   }
   for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
-    hosts_.push_back(std::make_unique<ClusterHost>(
-        static_cast<HostId>(config_.num_home_hosts + c), HostKind::kConsolidation, config_,
+    state_.hosts.push_back(std::make_unique<ClusterHost>(
+        static_cast<HostId>(config_.num_home_hosts + c), HostRole::kConsolidation, config_,
         /*initially_powered=*/false));
   }
   // VMs: vms_per_home per home host; activity from trace interval 0.
   int total_vms = config_.TotalVms();
-  vms_.reserve(static_cast<size_t>(total_vms));
-  vm_ever_uploaded_.assign(static_cast<size_t>(total_vms), false);
+  state_.vms.reserve(static_cast<size_t>(total_vms));
+  state_.vm_ever_uploaded.assign(static_cast<size_t>(total_vms), false);
   for (int v = 0; v < total_vms; ++v) {
     VmSlot slot;
     slot.id = static_cast<VmId>(v);
@@ -78,15 +55,15 @@ ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace,
                         ? VmActivity::kActive
                         : VmActivity::kIdle;
     slot.residency = VmResidency::kFullAtHome;
-    vms_.push_back(slot);
-    ClusterHost& home = HostOf(slot.home);
+    state_.vms.push_back(slot);
+    ClusterHost& home = *state_.hosts[slot.home];
     home.AddVm(SimTime::Zero(), slot.id);
     home.Reserve(slot.full_bytes);
     if (slot.activity == VmActivity::kActive) {
       home.SetActiveVms(SimTime::Zero(), home.active_vms() + 1);
     }
   }
-  pending_wake_powered_at_.assign(hosts_.size(), SimTime::Zero());
+  state_.pending_wake_powered_at.assign(state_.hosts.size(), SimTime::Zero());
 }
 
 ClusterMetrics ClusterManager::Run() {
@@ -117,11 +94,11 @@ ClusterMetrics ClusterManager::Run() {
         continue;
       }
       ScheduledFault ev = event;
-      sim_.ScheduleAt(ev.at, [this, ev]() { ApplyScheduledFault(sim_.now(), ev); });
+      sim_.ScheduleAt(ev.at, [this, ev]() { act_.ApplyScheduledFault(sim_.now(), ev); });
     }
   }
   sim_.RunUntil(end);
-  AccrueEnergy(end);
+  act_.AccrueEnergy(end);
   if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
     CheckClusterInvariants(*this, end, *c);
   }
@@ -150,8 +127,15 @@ Joules ClusterManager::BaselineEnergy(const ClusterConfig& config, const TraceSe
 void ClusterManager::OnInterval(SimTime now, int interval) {
   OASIS_CLOG(kDebug, "cluster") << "planning round " << interval;
   UpdateActivities(now, interval);
-  PartialVmUpkeep(now);
-  Plan(now);
+  act_.PartialVmUpkeep(now);
+  PlanActions actions = strategy_->PlanInterval(View(), now, act_);
+  act_.SleepIdleConsolidationHosts(now);
+  // Sweep home hosts that drained since the last interval.
+  for (const auto& host : state_.hosts) {
+    if (host->IsHomeHost()) {
+      act_.MaybeSleepHomeHost(now, host->id());
+    }
+  }
   RecordSnapshot(now, interval);
   if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
     // The conservation walk runs after every planning round, so a violation
@@ -162,14 +146,29 @@ void ClusterManager::OnInterval(SimTime now, int interval) {
   // gets a span so Perfetto shows where each burst of migrations came from.
   if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
     t->Complete("ctrl", "planning_round", now, now);
+    // The strategy's executed-action record is observability-only: it never
+    // feeds ClusterMetrics, so enabling it cannot perturb pinned outputs.
+    t->Instant("ctrl", "policy_actions", now,
+               obs::TraceArgs{static_cast<int64_t>(actions.vacated_hosts),
+                              static_cast<int64_t>(actions.vacate_moves),
+                              static_cast<int64_t>(actions.drain_moves)});
   }
   if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
     m->counter("cluster.planning_rounds")->Increment();
+    std::string prefix = std::string("cluster.policy.") + strategy_->name();
+    m->counter(prefix + ".vacated_hosts")
+        ->Increment(static_cast<uint64_t>(actions.vacated_hosts));
+    m->counter(prefix + ".vacate_moves")
+        ->Increment(static_cast<uint64_t>(actions.vacate_moves));
+    m->counter(prefix + ".drain_moves")
+        ->Increment(static_cast<uint64_t>(actions.drain_moves));
+    m->counter(prefix + ".swapped_vms")
+        ->Increment(static_cast<uint64_t>(actions.swapped_vms));
   }
 }
 
 void ClusterManager::UpdateActivities(SimTime now, int interval) {
-  for (VmSlot& vm : vms_) {
+  for (VmSlot& vm : state_.vms) {
     bool should_be_active =
         trace_[vm.id % trace_.size()].IsActive(interval);
     bool is_active = vm.activity == VmActivity::kActive;
@@ -179,710 +178,26 @@ void ClusterManager::UpdateActivities(SimTime now, int interval) {
     if (should_be_active) {
       vm.activity = VmActivity::kActive;
       vm.activation_time = now;
-      AdjustActiveCount(now, vm.location, +1);
+      act_.AdjustActiveCount(now, vm.location, +1);
       if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
         t->Instant("ctrl", "vm_activation", now,
                    obs::TraceArgs{static_cast<int64_t>(vm.location),
                                   static_cast<int64_t>(vm.id)});
       }
-      HandleActivation(now, vm.id, now);
+      act_.HandleActivation(now, vm.id, now);
     } else {
       vm.activity = VmActivity::kIdle;
       vm.idle_since = now;
-      AdjustActiveCount(now, vm.location, -1);
+      act_.AdjustActiveCount(now, vm.location, -1);
     }
   }
-}
-
-void ClusterManager::HandleActivation(SimTime now, VmId vm_id, SimTime activation_time) {
-  VmSlot& vm = Slot(vm_id);
-  if (vm.migration_in_flight && TryAbortPendingMigration(now, vm)) {
-    // The queued move was cancelled; fall through with the VM's restored
-    // state (full at home for vacate/swap aborts, still partial for drains).
-  } else if (vm.migration_in_flight) {
-    if (vm.pending_op == VmSlot::PendingOp::kReturnMove) {
-      // The VM is already being reintegrated as part of a group return; the
-      // agent promotes it to the front of the queue, so the user waits only
-      // one reintegration (§5.5), not the whole storm.
-      const ClusterTimings& t = config_.timings;
-      metrics_.transition_delay_s.Add(
-          (now - activation_time + t.reintegration_fixed + t.reintegration_transfer)
-              .seconds());
-      return;
-    }
-    vm.activation_pending = true;
-    return;
-  }
-  switch (vm.residency) {
-    case VmResidency::kFullAtHome:
-    case VmResidency::kFullAtConsolidation:
-      // The VM already holds all its resources: zero perceived delay.
-      metrics_.transition_delay_s.Add((now - activation_time).seconds());
-      return;
-    case VmResidency::kPartial:
-      break;
-  }
-  if (config_.policy != ConsolidationPolicy::kOnlyPartial &&
-      TryConvertInPlace(now, vm, activation_time)) {
-    return;
-  }
-  if (config_.policy == ConsolidationPolicy::kNewHome &&
-      TryNewHome(now, vm, activation_time)) {
-    return;
-  }
-  ++metrics_.capacity_exhaustions;
-  ReturnHomeGroup(now, vm.home, vm.id, activation_time);
-}
-
-bool ClusterManager::TryConvertInPlace(SimTime now, VmSlot& vm, SimTime activation_time) {
-  ClusterHost& host = HostOf(vm.location);
-  uint64_t extra = vm.full_bytes - vm.ws_bytes;
-  if (!host.CanFit(extra)) {
-    return false;
-  }
-  // CPU bound (§3 assumption 1): the activation was already counted here.
-  if (host.active_vms() > config_.MaxActiveVmsPerHost()) {
-    return false;
-  }
-  host.Reserve(extra);
-  // Pre-fetch the remaining footprint from the memory server (§4.4.4: a
-  // partial VM that turns active converts to a full VM).
-  uint64_t fetched = vm.ws_bytes - vm.ws_unfetched;
-  metrics_.traffic.Add(TrafficCategory::kOnDemandPages, vm.full_bytes - fetched);
-  vm.residency = VmResidency::kFullAtConsolidation;
-  vm.ws_bytes = 0;
-  vm.ws_unfetched = 0;
-  vm.dirty_bytes = 0;
-  // The VM's working set is already resident, so it responds as soon as its
-  // vCPUs are rescheduled with full memory commitment; the bulk of the
-  // footprint streams in from the memory server in the background.
-  const ClusterTimings& t = config_.timings;
-  SimTime done = now + t.reintegration_fixed + t.reintegration_transfer;
-  TraceMigration("convert_in_place", now, done, vm.id, vm.location, vm.full_bytes - fetched);
-  ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, vm.location);
-  metrics_.transition_delay_s.Add((done - activation_time).seconds());
-  RefreshMemoryServer(now, vm.home);
-  return true;
-}
-
-bool ClusterManager::TryNewHome(SimTime now, VmSlot& vm, SimTime activation_time) {
-  // Any powered consolidation host with room for the full footprint.
-  std::vector<HostId> candidates;
-  for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
-    HostId id = static_cast<HostId>(config_.num_home_hosts + c);
-    ClusterHost& host = HostOf(id);
-    if (id != vm.location && host.IsPowered() && host.CanFit(vm.full_bytes) &&
-        host.active_vms() < config_.MaxActiveVmsPerHost()) {
-      candidates.push_back(id);
-    }
-  }
-  if (candidates.empty()) {
-    return false;
-  }
-  HostId target_id = candidates[rng_.NextBelow(candidates.size())];
-  ClusterHost& target = HostOf(target_id);
-  ClusterHost& source = HostOf(vm.location);
-
-  target.Reserve(vm.full_bytes);
-  source.Release(vm.ws_bytes);
-  source.RemoveVm(now, vm.id);
-  target.AddVm(now, vm.id);
-  AdjustActiveCount(now, vm.location, -1);
-  AdjustActiveCount(now, target_id, +1);
-  HostId old_location = vm.location;
-  vm.location = target_id;
-  vm.residency = VmResidency::kFullAtConsolidation;
-  vm.ws_bytes = 0;
-  vm.ws_unfetched = 0;
-  vm.dirty_bytes = 0;
-
-  metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
-  ++metrics_.full_migrations;
-  ++metrics_.new_home_moves;
-
-  const ClusterTimings& t = config_.timings;
-  SimTime done = now + t.reintegration_fixed + t.reintegration_transfer;
-  TraceMigration("full_migration", now, done, vm.id, target_id, vm.full_bytes);
-  ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, old_location);
-  metrics_.transition_delay_s.Add((done - activation_time).seconds());
-  RefreshMemoryServer(now, vm.home);
-
-  if (IsConsolidationHost(old_location) && !HostOf(old_location).HasVms()) {
-    SleepIdleConsolidationHosts(now);
-  }
-  return true;
-}
-
-SimTime ClusterManager::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
-                                        SimTime activation_time) {
-  ClusterHost& home = HostOf(home_id);
-  StatusOr<SimTime> woken = WakeHost(now, home_id);
-  SimTime t0 = woken.ok() ? *woken : home.EarliestPoweredTime(now);
-  if (!woken.ok()) {
-    OASIS_CLOG(kError, "cluster") << "waking home " << home_id
-                                  << " failed: " << woken.status().ToString();
-  }
-  SimTime last_done = t0;
-
-  // The requester reintegrates first; its delay is what the user feels.
-  std::vector<VmId> partials;
-  std::vector<VmId> idle_fulls;
-  for (const VmSlot& vm : vms_) {
-    if (vm.home != home_id || vm.migration_in_flight) {
-      continue;
-    }
-    if (vm.residency == VmResidency::kPartial) {
-      if (vm.id == requester) {
-        partials.insert(partials.begin(), vm.id);
-      } else {
-        partials.push_back(vm.id);
-      }
-    } else if (vm.residency == VmResidency::kFullAtConsolidation &&
-               vm.activity == VmActivity::kIdle) {
-      // §3.2: "Migrating back all full VMs that were originally homed on the
-      // awake host creates additional space on the consolidation hosts."
-      idle_fulls.push_back(vm.id);
-    }
-  }
-  const ClusterTimings& t = config_.timings;
-  for (VmId id : partials) {
-    VmSlot& vm = Slot(id);
-    ClusterHost& source = HostOf(vm.location);
-    source.Release(vm.ws_bytes);
-    source.RemoveVm(now, id);
-    home.AddVm(now, id);
-    if (vm.activity == VmActivity::kActive) {
-      AdjustActiveCount(now, vm.location, -1);
-      AdjustActiveCount(now, home_id, +1);
-    }
-    metrics_.traffic.Add(TrafficCategory::kReintegration, vm.dirty_bytes);
-    ++metrics_.reintegrations;
-    SimTime done =
-        home.EnqueueInboundTransfer(t0, t.reintegration_transfer) + t.reintegration_fixed;
-    TraceMigration("reintegration", t0, done, id, home_id, vm.dirty_bytes);
-    vm.location = home_id;
-    vm.residency = VmResidency::kFullAtHome;
-    vm.ws_bytes = 0;
-    vm.ws_unfetched = 0;
-    vm.dirty_bytes = 0;
-    ScheduleMigration(vm, t0, done,
-                      id == requester ? VmSlot::PendingOp::kOther
-                                      : VmSlot::PendingOp::kReturnMove,
-                      home_id);
-    if (id == requester) {
-      metrics_.transition_delay_s.Add((done - activation_time).seconds());
-    }
-    last_done = std::max(last_done, done);
-  }
-  for (VmId id : idle_fulls) {
-    VmSlot& vm = Slot(id);
-    HostId source_id = vm.location;
-    ClusterHost& source = HostOf(source_id);
-    source.Release(vm.full_bytes);
-    source.RemoveVm(now, id);
-    home.AddVm(now, id);
-    metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
-    ++metrics_.full_migrations;
-    SimTime done = source.EnqueueOutboundMigration(t0, t.full_migration);
-    TraceMigration("full_migration", done - t.full_migration, done, id, home_id,
-                   vm.full_bytes);
-    vm.location = home_id;
-    vm.residency = VmResidency::kFullAtHome;
-    ScheduleMigration(vm, done - t.full_migration, done, VmSlot::PendingOp::kFullReturnMove,
-                      source_id);
-    last_done = std::max(last_done, done);
-  }
-  RefreshMemoryServer(now, home_id);
-  return last_done;
-}
-
-void ClusterManager::PartialVmUpkeep(SimTime now) {
-  const TrafficVolumes& vol = config_.volumes;
-  uint64_t growth = GrowthPerInterval(config_);
-  double interval_minutes = config_.planning_interval.minutes();
-  std::set<HostId> exhausted_homes;
-  for (VmSlot& vm : vms_) {
-    if (vm.residency != VmResidency::kPartial || vm.migration_in_flight) {
-      continue;
-    }
-    // On-demand fetch: geometric drain of the unfetched working set.
-    uint64_t fetch = static_cast<uint64_t>(static_cast<double>(vm.ws_unfetched) *
-                                           vol.on_demand_fraction_per_interval);
-    fetch = std::min(fetch, vol.on_demand_cap_per_interval);
-    if (fetch > 0) {
-      metrics_.traffic.Add(TrafficCategory::kOnDemandPages, fetch);
-      vm.ws_unfetched -= fetch;
-    }
-    // Dirty-state accumulation (drives reintegration volume).
-    uint64_t dirty_step = MiBToBytes(vol.dirty_mib_per_minute * interval_minutes);
-    vm.dirty_bytes = std::min(vm.dirty_bytes + dirty_step, vol.dirty_cap_bytes);
-    // Working-set growth; an overfull consolidation host forces a return.
-    if (growth > 0) {
-      ClusterHost& host = HostOf(vm.location);
-      if (host.CanFit(growth)) {
-        host.Reserve(growth);
-        vm.ws_bytes += growth;
-      } else {
-        exhausted_homes.insert(vm.home);
-      }
-    }
-  }
-  for (HostId home : exhausted_homes) {
-    ++metrics_.capacity_exhaustions;
-    ReturnHomeGroup(now, home, kNoVm, now);
-  }
-}
-
-void ClusterManager::Plan(SimTime now) {
-  if (config_.policy == ConsolidationPolicy::kFullToPartial ||
-      config_.policy == ConsolidationPolicy::kNewHome) {
-    PlanFullToPartialSwaps(now);
-  }
-  PlanVacations(now);
-  DrainConsolidationHosts(now);
-  SleepIdleConsolidationHosts(now);
-  // Sweep home hosts that drained since the last interval.
-  for (int h = 0; h < config_.num_home_hosts; ++h) {
-    MaybeSleepHomeHost(now, static_cast<HostId>(h));
-  }
-}
-
-void ClusterManager::PlanFullToPartialSwaps(SimTime now) {
-  // Idle full VMs parked on consolidation hosts go home and come back as
-  // partials, freeing most of their reservation (§3.2 FulltoPartial).
-  std::map<HostId, std::vector<VmId>> by_home;
-  for (const VmSlot& vm : vms_) {
-    if (vm.residency == VmResidency::kFullAtConsolidation && TrustedIdle(vm, now) &&
-        !vm.migration_in_flight) {
-      by_home[vm.home].push_back(vm.id);
-    }
-  }
-  const ClusterTimings& t = config_.timings;
-  for (auto& [home_id, group] : by_home) {
-    ClusterHost& home = HostOf(home_id);
-    StatusOr<SimTime> woken = WakeHost(now, home_id);
-    SimTime t0 = woken.ok() ? *woken : home.EarliestPoweredTime(now);
-    for (VmId id : group) {
-      VmSlot& vm = Slot(id);
-      ClusterHost& cons = HostOf(vm.location);
-      HostId cons_id = vm.location;
-      // Leg 1: live-migrate the full VM back home.
-      SimTime done1 = cons.EnqueueOutboundMigration(t0, t.full_migration);
-      TraceMigration("full_migration", done1 - t.full_migration, done1, id, home_id,
-                     vm.full_bytes);
-      cons.Release(vm.full_bytes);
-      cons.RemoveVm(now, id);
-      home.AddVm(now, id);
-      vm.location = home_id;
-      vm.residency = VmResidency::kFullAtHome;
-      metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
-      ++metrics_.full_migrations;
-      // Leg 2: partial-migrate back to the same consolidation host.
-      uint64_t ws = SampleWorkingSet();
-      if (cons.CanFit(ws)) {
-        cons.Reserve(ws);
-        home.RemoveVm(now, id);
-        cons.AddVm(now, id);
-        vm.location = cons_id;
-        vm.residency = VmResidency::kPartial;
-        vm.ws_bytes = ws;
-        vm.ws_unfetched = ws;
-        vm.dirty_bytes = 0;
-        vm.consolidated_since = now;
-        RecordPartialMigrationTraffic(now, vm);
-        ++metrics_.full_to_partial_swaps;
-        SimTime done2 = home.EnqueueOutboundMigration(done1, t.partial_migration);
-        TraceMigration("partial_migration", done2 - t.partial_migration, done2, id, cons_id,
-                       ws);
-        ScheduleMigration(vm, done2 - t.partial_migration, done2,
-                          VmSlot::PendingOp::kSwapReturn, home_id);
-      } else {
-        // No room for even the partial: the VM stays home.
-        ScheduleMigration(vm, t0, done1, VmSlot::PendingOp::kOther, cons_id);
-      }
-    }
-    SimTime all_done = home.outbound_busy_until();
-    HostId hid = home_id;
-    sim_.ScheduleAt(std::max(now, all_done),
-                    [this, hid]() { MaybeSleepHomeHost(sim_.now(), hid); });
-  }
-}
-
-bool ClusterManager::TrustedIdle(const VmSlot& vm, SimTime now) const {
-  if (vm.activity != VmActivity::kIdle) {
-    return false;
-  }
-  SimTime window = config_.planning_interval * config_.idle_smoothing_intervals;
-  return now - vm.idle_since >= window;
-}
-
-bool ClusterManager::HostEligibleForVacate(const ClusterHost& host, SimTime now) const {
-  if (host.kind() != HostKind::kHome || !host.IsPowered() || !host.HasVms()) {
-    return false;
-  }
-  for (VmId id : host.vms()) {
-    const VmSlot& vm = vms_[id];
-    if (vm.migration_in_flight || vm.location != host.id()) {
-      return false;
-    }
-    // OnlyPartial never migrates VMs in full, so every VM must be (trusted)
-    // idle before the host can be emptied.
-    if (config_.policy == ConsolidationPolicy::kOnlyPartial && !TrustedIdle(vm, now)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-ClusterManager::VacatePlan ClusterManager::BuildVacatePlan(
-    SimTime now, bool allow_waking_consolidation_hosts,
-    const std::unordered_map<VmId, uint64_t>& planned_ws) {
-  VacatePlan plan;
-  // Candidate home hosts sorted by ascending total memory demand (§3.1).
-  struct Candidate {
-    HostId host;
-    uint64_t demand;
-  };
-  std::vector<Candidate> candidates;
-  for (int h = 0; h < config_.num_home_hosts; ++h) {
-    const ClusterHost& host = HostOf(static_cast<HostId>(h));
-    if (!HostEligibleForVacate(host, now)) {
-      continue;
-    }
-    uint64_t demand = 0;
-    for (VmId id : host.vms()) {
-      const VmSlot& vm = vms_[id];
-      demand += TrustedIdle(vm, now) ? planned_ws.at(id) : vm.full_bytes;
-    }
-    candidates.push_back({static_cast<HostId>(h), demand});
-  }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) { return a.demand < b.demand; });
-
-  // Snapshot consolidation-host free space. Powered hosts come first so the
-  // random destination choice only spills onto sleeping hosts (waking them)
-  // when the powered ones are full.
-  struct Dest {
-    HostId host;
-    uint64_t available;
-    int active_slots;  // CPU headroom for incoming active VMs
-    bool sleeping;
-    bool used = false;
-  };
-  std::vector<Dest> dests;
-  size_t powered_dests = 0;
-  for (int pass = 0; pass < 2; ++pass) {
-    for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
-      HostId id = static_cast<HostId>(config_.num_home_hosts + c);
-      const ClusterHost& host = HostOf(id);
-      int slots = config_.MaxActiveVmsPerHost() - host.active_vms();
-      bool awake = host.IsPowered() || host.power_state() == HostPowerState::kResuming;
-      if (pass == 0 && awake) {
-        dests.push_back({id, host.AvailableBytes(), slots, false});
-        ++powered_dests;
-      } else if (pass == 1 && !awake && allow_waking_consolidation_hosts) {
-        dests.push_back({id, host.AvailableBytes(), slots, true});
-      }
-    }
-  }
-
-  for (const Candidate& cand : candidates) {
-    const ClusterHost& host = HostOf(cand.host);
-    std::vector<std::pair<VmId, HostId>> placement;
-    struct Tentative {
-      size_t idx;
-      uint64_t bytes;
-      bool active;
-    };
-    std::vector<Tentative> tentative;
-    bool ok = true;
-    for (VmId id : host.vms()) {
-      const VmSlot& vm = vms_[id];
-      bool consumes_cpu = vm.activity == VmActivity::kActive;
-      uint64_t need = TrustedIdle(vm, now) ? planned_ws.at(id) : vm.full_bytes;
-      // Destination choice (§3.1): random among powered consolidation hosts
-      // with room; spill onto sleeping hosts first-fit in a fixed order so
-      // the plan wakes as few of them as possible. Active VMs additionally
-      // need a CPU slot (assumption 1's 3x over-subscription cap).
-      bool placed = false;
-      auto try_segment = [&](size_t first, size_t count, bool randomize) {
-        if (count == 0 || placed) {
-          return;
-        }
-        size_t start = randomize ? first + rng_.NextBelow(count) : first;
-        for (size_t k = 0; k < count; ++k) {
-          size_t idx = first + (start - first + k) % count;
-          Dest& d = dests[idx];
-          if (d.available >= need && (!consumes_cpu || d.active_slots > 0)) {
-            d.available -= need;
-            if (consumes_cpu) {
-              --d.active_slots;
-            }
-            tentative.push_back({idx, need, consumes_cpu});
-            placement.emplace_back(id, d.host);
-            placed = true;
-            return;
-          }
-        }
-      };
-      try_segment(0, powered_dests, /*randomize=*/true);
-      try_segment(powered_dests, dests.size() - powered_dests, /*randomize=*/false);
-      if (!placed) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) {
-      for (const Tentative& t : tentative) {
-        dests[t.idx].available += t.bytes;
-        if (t.active) {
-          ++dests[t.idx].active_slots;
-        }
-      }
-      continue;
-    }
-    for (const Tentative& t : tentative) {
-      dests[t.idx].used = true;
-    }
-    plan.hosts_to_vacate.push_back(cand.host);
-    plan.placements.push_back(std::move(placement));
-  }
-
-  // Net power effect (§3.1: consolidate only when it saves energy): a
-  // vacated home stops drawing its loaded-host power and costs S3 plus the
-  // memory server; every sleeping consolidation host we wake will run loaded.
-  const HostPowerProfile& p = config_.host_power;
-  Watts loaded = p.Draw(HostPowerState::kPowered, config_.vms_per_home);
-  double saved_per_home =
-      loaded - p.sleep_watts - config_.memory_server_power.TotalWatts();
-  int woken = 0;
-  for (const Dest& d : dests) {
-    if (d.sleeping && d.used) {
-      ++woken;
-    }
-  }
-  plan.newly_woken_consolidation_hosts = woken;
-  plan.net_power_delta_watts =
-      static_cast<double>(plan.hosts_to_vacate.size()) * saved_per_home -
-      static_cast<double>(woken) * (loaded - p.sleep_watts);
-  return plan;
-}
-
-void ClusterManager::PlanVacations(SimTime now) {
-  // Pre-sample the working set each idle VM would consolidate with, shared
-  // by both plan variants so they compare like for like.
-  std::unordered_map<VmId, uint64_t> planned_ws;
-  for (int h = 0; h < config_.num_home_hosts; ++h) {
-    const ClusterHost& host = HostOf(static_cast<HostId>(h));
-    if (!HostEligibleForVacate(host, now)) {
-      continue;
-    }
-    for (VmId id : host.vms()) {
-      if (TrustedIdle(vms_[id], now)) {
-        planned_ws[id] = SampleWorkingSet();
-      }
-    }
-  }
-  if (planned_ws.empty() && config_.policy == ConsolidationPolicy::kOnlyPartial) {
-    return;
-  }
-  VacatePlan conservative = BuildVacatePlan(now, /*allow_waking=*/false, planned_ws);
-  VacatePlan aggressive = BuildVacatePlan(now, /*allow_waking=*/true, planned_ws);
-  VacatePlan* best = &conservative;
-  if (aggressive.net_power_delta_watts > conservative.net_power_delta_watts) {
-    best = &aggressive;
-  }
-  // §3.1: consolidate only when it saves energy.
-  if (best->net_power_delta_watts <= 0.0 || best->hosts_to_vacate.empty()) {
-    return;
-  }
-  CommitVacatePlan(now, *best, planned_ws);
-}
-
-void ClusterManager::CommitVacatePlan(SimTime now, const VacatePlan& plan,
-                                      const std::unordered_map<VmId, uint64_t>& planned_ws) {
-  const ClusterTimings& t = config_.timings;
-  for (size_t i = 0; i < plan.hosts_to_vacate.size(); ++i) {
-    HostId source_id = plan.hosts_to_vacate[i];
-    ClusterHost& source = HostOf(source_id);
-    for (const auto& [vm_id, dest_id] : plan.placements[i]) {
-      VmSlot& vm = Slot(vm_id);
-      ClusterHost& dest = HostOf(dest_id);
-      StatusOr<SimTime> woken = WakeHost(now, dest_id);
-      SimTime dest_ready = woken.ok() ? *woken : dest.EarliestPoweredTime(now);
-      SimTime done;
-      if (!TrustedIdle(vm, now)) {
-        // Active (or not-yet-trusted idle) VMs move in full via live
-        // migration, so they keep their resources and performance.
-        done = source.EnqueueOutboundMigration(dest_ready, t.full_migration);
-        dest.Reserve(vm.full_bytes);
-        vm.residency = VmResidency::kFullAtConsolidation;
-        if (vm.activity == VmActivity::kActive) {
-          AdjustActiveCount(now, source_id, -1);
-          AdjustActiveCount(now, dest_id, +1);
-        }
-        metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
-        ++metrics_.full_migrations;
-        TraceMigration("full_migration", now, done, vm_id, dest_id, vm.full_bytes);
-      } else {
-        done = source.EnqueueOutboundMigration(dest_ready, t.partial_migration);
-        uint64_t ws = planned_ws.at(vm_id);
-        dest.Reserve(ws);
-        vm.residency = VmResidency::kPartial;
-        vm.ws_bytes = ws;
-        vm.ws_unfetched = ws;
-        vm.dirty_bytes = 0;
-        vm.consolidated_since = now;
-        RecordPartialMigrationTraffic(now, vm);
-        TraceMigration("partial_migration", done - t.partial_migration, done, vm_id, dest_id,
-                       ws);
-      }
-      source.RemoveVm(now, vm_id);
-      dest.AddVm(now, vm_id);
-      vm.location = dest_id;
-      bool partial = vm.residency == VmResidency::kPartial;
-      ScheduleMigration(vm, partial ? done - t.partial_migration : now, done,
-                        partial ? VmSlot::PendingOp::kVacatePartial
-                                : VmSlot::PendingOp::kOther,
-                        source_id);
-    }
-    SimTime all_done = std::max(now, source.outbound_busy_until());
-    HostId hid = source_id;
-    sim_.ScheduleAt(all_done, [this, hid]() { MaybeSleepHomeHost(sim_.now(), hid); });
-  }
-}
-
-void ClusterManager::DrainConsolidationHosts(SimTime now) {
-  // §3.1's plan search minimizes the number of powered hosts, which includes
-  // consolidation hosts: one whose guests are all partial VMs can push them
-  // to its powered peers and sleep. Only descriptors and resident pages
-  // move — the VMs' memory images stay on their homes' memory servers.
-  //
-  // Draining is incremental: each interval moves at most as many VMs as fit
-  // into the interval (the moves serialize on the source's outbound path),
-  // so a heavily loaded host empties over several intervals.
-  const ClusterTimings& t = config_.timings;
-  size_t max_moves = static_cast<size_t>(config_.planning_interval.seconds() /
-                                         t.partial_migration.seconds());
-
-  // The drain source: the least-occupied powered consolidation host whose
-  // guests are all partial, provided its peers have room for all of it.
-  HostId source_id = kNoHost;
-  uint64_t best_reserved = 0;
-  for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
-    HostId id = static_cast<HostId>(config_.num_home_hosts + c);
-    ClusterHost& host = HostOf(id);
-    if (!host.IsPowered() || !host.HasVms() || host.outbound_busy_until() > now) {
-      continue;
-    }
-    bool all_partial = true;
-    for (VmId vm_id : host.vms()) {
-      const VmSlot& vm = vms_[vm_id];
-      if (vm.residency != VmResidency::kPartial || vm.migration_in_flight) {
-        all_partial = false;
-        break;
-      }
-    }
-    if (!all_partial) {
-      continue;
-    }
-    if (source_id == kNoHost || host.reserved_bytes() < best_reserved) {
-      source_id = id;
-      best_reserved = host.reserved_bytes();
-    }
-  }
-  if (source_id == kNoHost) {
-    return;
-  }
-  ClusterHost& source = HostOf(source_id);
-  uint64_t peer_spare = 0;
-  for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
-    HostId id = static_cast<HostId>(config_.num_home_hosts + c);
-    const ClusterHost& host = HostOf(id);
-    if (id != source_id && host.IsPowered()) {
-      peer_spare += host.AvailableBytes();
-    }
-  }
-  // Don't start (or continue) a drain that cannot complete; partially
-  // drained hosts still burn full power.
-  if (peer_spare < source.reserved_bytes() + source.reserved_bytes() / 8) {
-    return;
-  }
-
-  std::vector<VmId> movable(source.vms().begin(), source.vms().end());
-  size_t moved = 0;
-  for (VmId vm_id : movable) {
-    if (moved >= max_moves) {
-      break;
-    }
-    VmSlot& vm = Slot(vm_id);
-    HostId dest_id = kNoHost;
-    for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
-      HostId id = static_cast<HostId>(config_.num_home_hosts + c);
-      ClusterHost& host = HostOf(id);
-      if (id != source_id && host.IsPowered() && host.CanFit(vm.ws_bytes)) {
-        dest_id = id;
-        break;
-      }
-    }
-    if (dest_id == kNoHost) {
-      break;
-    }
-    ClusterHost& dest = HostOf(dest_id);
-    source.Release(vm.ws_bytes);
-    dest.Reserve(vm.ws_bytes);
-    source.RemoveVm(now, vm_id);
-    dest.AddVm(now, vm_id);
-    vm.location = dest_id;
-    metrics_.traffic.Add(TrafficCategory::kPartialDescriptor,
-                         config_.volumes.descriptor_bytes);
-    ++metrics_.partial_migrations;
-    SimTime done = source.EnqueueOutboundMigration(now, t.partial_migration);
-    if (obs::Tracer* tr = obs::Tracer::IfEnabled()) {
-      // Drains ship only the descriptor; the memory image stays on the
-      // home's memory server.
-      tr->Complete("migration", "descriptor_push", now, now,
-                   obs::TraceArgs{static_cast<int64_t>(dest_id),
-                                  static_cast<int64_t>(vm_id),
-                                  static_cast<int64_t>(config_.volumes.descriptor_bytes)});
-    }
-    TraceMigration("partial_migration", done - t.partial_migration, done, vm_id, dest_id,
-                   vm.ws_bytes);
-    ScheduleMigration(vm, done - t.partial_migration, done, VmSlot::PendingOp::kDrainMove,
-                      source_id);
-    ++moved;
-  }
-  // The emptied host sleeps at the next sweep once its channel drains.
-}
-
-void ClusterManager::SleepIdleConsolidationHosts(SimTime now) {
-  for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
-    HostId id = static_cast<HostId>(config_.num_home_hosts + c);
-    ClusterHost& host = HostOf(id);
-    if (host.IsPowered() && !host.HasVms() && host.active_vms() == 0 &&
-        host.outbound_busy_until() <= now) {
-      host.RequestSleep(sim_);
-      ++metrics_.host_sleeps;
-    }
-  }
-}
-
-void ClusterManager::MaybeSleepHomeHost(SimTime now, HostId host_id) {
-  ClusterHost& host = HostOf(host_id);
-  if (host.kind() != HostKind::kHome || !host.IsPowered() || host.HasVms() ||
-      host.active_vms() != 0 || host.outbound_busy_until() > now) {
-    return;
-  }
-  HostId id = host_id;
-  host.RequestSleep(sim_, [this, id](SimTime at) { RefreshMemoryServer(at, id); });
-  ++metrics_.host_sleeps;
 }
 
 void ClusterManager::RecordSnapshot(SimTime now, int interval) {
   (void)interval;
   IntervalSnapshot snap;
   snap.time = now;
-  for (const VmSlot& vm : vms_) {
+  for (const VmSlot& vm : state_.vms) {
     if (vm.activity == VmActivity::kActive) {
       ++snap.active_vms;
     }
@@ -893,12 +208,12 @@ void ClusterManager::RecordSnapshot(SimTime now, int interval) {
       ++snap.full_at_consolidation_vms;
     }
   }
-  for (const auto& host : hosts_) {
+  for (const auto& host : state_.hosts) {
     if (!host->IsPowered()) {
       continue;
     }
     ++snap.powered_hosts;
-    if (host->kind() == HostKind::kHome) {
+    if (host->IsHomeHost()) {
       ++snap.powered_home_hosts;
     } else {
       ++snap.powered_consolidation_hosts;
@@ -906,465 +221,6 @@ void ClusterManager::RecordSnapshot(SimTime now, int interval) {
     }
   }
   metrics_.timeline.push_back(snap);
-}
-
-void ClusterManager::AdjustActiveCount(SimTime now, HostId host, int delta) {
-  ClusterHost& h = HostOf(host);
-  h.SetActiveVms(now, h.active_vms() + delta);
-}
-
-StatusOr<SimTime> ClusterManager::WakeHost(SimTime now, HostId id) {
-  if (static_cast<size_t>(id) >= hosts_.size()) {
-    return Status::NotFound("no such host: " + std::to_string(id));
-  }
-  ClusterHost& host = HostOf(id);
-  if (!host.IsPowered()) {
-    ++metrics_.host_wakes;
-  }
-  // A fault-delayed WoL retry loop is already running for this host: join it
-  // instead of sampling a fresh fault episode for the same wake.
-  if (pending_wake_powered_at_[id] > now) {
-    return pending_wake_powered_at_[id];
-  }
-  HostId hid = id;
-  if (fault_.enabled() && host.IsAsleep()) {
-    // Faults attach to the WoL actually sent: each lost packet costs one
-    // retry timeout, and a wedged resume costs a watchdog power-cycle.
-    SimTime t = now;
-    int losses = fault_.SampleWolLosses(now, static_cast<int64_t>(id));
-    if (losses > 0) {
-      SimTime waited = config_.fault.wol_retry_timeout * static_cast<double>(losses);
-      fault_.RecordRecovered(FaultClass::kWolLoss, t, t + waited,
-                             obs::TraceArgs{static_cast<int64_t>(id), -1, losses});
-      t = t + waited;
-      if (losses >= config_.fault.max_wol_retries) {
-        OASIS_CLOG(kWarning, "cluster")
-            << "host " << id << " ignored " << losses
-            << " WoL packets; escalating to the management processor";
-        if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
-          m->counter("fault.wol_escalations")->Increment();
-        }
-      }
-    }
-    if (fault_.SampleResumeHang(now, static_cast<int64_t>(id))) {
-      SimTime watchdog = config_.fault.resume_watchdog;
-      fault_.RecordRecovered(FaultClass::kResumeHang, t, t + watchdog,
-                             obs::TraceArgs{static_cast<int64_t>(id)});
-      t = t + watchdog;
-    }
-    if (t > now) {
-      // The WoL that sticks goes out at t; the host powers one resume later.
-      SimTime powered_at = host.EarliestPoweredTime(t);
-      pending_wake_powered_at_[id] = powered_at;
-      sim_.ScheduleAt(t, [this, hid]() {
-        HostOf(hid).RequestWake(sim_, [this, hid](SimTime at) {
-          pending_wake_powered_at_[hid] = SimTime::Zero();
-          RefreshMemoryServer(at, hid);
-        });
-      });
-      return powered_at;
-    }
-  }
-  host.RequestWake(sim_, [this, hid](SimTime at) { RefreshMemoryServer(at, hid); });
-  return host.EarliestPoweredTime(now);
-}
-
-void ClusterManager::RefreshMemoryServer(SimTime now, HostId home_id) {
-  if (IsConsolidationHost(home_id)) {
-    return;  // consolidation hosts' memory servers are never powered (§5.1)
-  }
-  ClusterHost& host = HostOf(home_id);
-  bool needed = host.IsAsleep() && CountPartialsHomedAt(home_id) > 0;
-  host.SetMemoryServerPowered(now, needed);
-}
-
-int ClusterManager::CountPartialsHomedAt(HostId home_id) const {
-  int n = 0;
-  for (const VmSlot& vm : vms_) {
-    if (vm.home == home_id && vm.residency == VmResidency::kPartial) {
-      ++n;
-    }
-  }
-  return n;
-}
-
-void ClusterManager::ScheduleMigration(VmSlot& vm, SimTime start, SimTime done,
-                                       VmSlot::PendingOp op, HostId source) {
-  vm.migration_in_flight = true;
-  vm.migration_start = start;
-  vm.pending_op = op;
-  vm.migration_source = source;
-  uint32_t epoch = ++vm.op_epoch;
-  VmId id = vm.id;
-  sim_.ScheduleAt(done, [this, id, epoch]() { FinishMigration(sim_.now(), id, epoch); });
-}
-
-bool ClusterManager::TryAbortPendingMigration(SimTime now, VmSlot& vm) {
-  if (now >= vm.migration_start) {
-    return false;  // the transfer already started; ride it out
-  }
-  return RollbackMigration(now, vm);
-}
-
-bool ClusterManager::RollbackMigration(SimTime now, VmSlot& vm) {
-  switch (vm.pending_op) {
-    case VmSlot::PendingOp::kVacatePartial:
-    case VmSlot::PendingOp::kSwapReturn: {
-      // The VM has not been suspended yet; it keeps running at home with its
-      // full footprint. Undo the partial placement.
-      ClusterHost& dest = HostOf(vm.location);
-      ClusterHost& home = HostOf(vm.home);
-      dest.Release(vm.ws_bytes);
-      dest.RemoveVm(now, vm.id);
-      home.AddVm(now, vm.id);
-      if (vm.activity == VmActivity::kActive) {
-        AdjustActiveCount(now, vm.location, -1);
-        AdjustActiveCount(now, vm.home, +1);
-      }
-      vm.location = vm.home;
-      vm.residency = VmResidency::kFullAtHome;
-      vm.ws_bytes = 0;
-      vm.ws_unfetched = 0;
-      vm.dirty_bytes = 0;
-      break;
-    }
-    case VmSlot::PendingOp::kDrainMove: {
-      // The VM stays on the consolidation host it was being drained from.
-      ClusterHost& dest = HostOf(vm.location);
-      ClusterHost& source = HostOf(vm.migration_source);
-      dest.Release(vm.ws_bytes);
-      dest.RemoveVm(now, vm.id);
-      source.Reserve(vm.ws_bytes);
-      source.AddVm(now, vm.id);
-      if (vm.activity == VmActivity::kActive) {
-        AdjustActiveCount(now, vm.location, -1);
-        AdjustActiveCount(now, vm.migration_source, +1);
-      }
-      vm.location = vm.migration_source;
-      break;
-    }
-    case VmSlot::PendingOp::kFullReturnMove: {
-      // The return-home live migration has not started: the VM simply stays
-      // full on its consolidation host, already holding all its resources.
-      ClusterHost& cons = HostOf(vm.migration_source);
-      ClusterHost& home = HostOf(vm.location);
-      if (!cons.CanFit(vm.full_bytes)) {
-        return false;  // space was re-used meanwhile; ride the migration out
-      }
-      cons.Reserve(vm.full_bytes);
-      home.RemoveVm(now, vm.id);
-      cons.AddVm(now, vm.id);
-      if (vm.activity == VmActivity::kActive) {
-        AdjustActiveCount(now, vm.location, -1);
-        AdjustActiveCount(now, vm.migration_source, +1);
-      }
-      vm.location = vm.migration_source;
-      vm.residency = VmResidency::kFullAtConsolidation;
-      break;
-    }
-    case VmSlot::PendingOp::kReturnMove:
-    case VmSlot::PendingOp::kOther:
-    case VmSlot::PendingOp::kNone:
-      return false;
-  }
-  ++vm.op_epoch;  // invalidate the scheduled completion event
-  vm.migration_in_flight = false;
-  vm.pending_op = VmSlot::PendingOp::kNone;
-  vm.activation_pending = false;
-  return true;
-}
-
-bool ClusterManager::RollbackFeasible(const VmSlot& vm) const {
-  if (!vm.migration_in_flight) {
-    return false;
-  }
-  switch (vm.pending_op) {
-    case VmSlot::PendingOp::kVacatePartial:
-    case VmSlot::PendingOp::kSwapReturn:
-    case VmSlot::PendingOp::kDrainMove:
-      return true;
-    case VmSlot::PendingOp::kFullReturnMove:
-      return hosts_[vm.migration_source]->CanFit(vm.full_bytes);
-    case VmSlot::PendingOp::kReturnMove:
-    case VmSlot::PendingOp::kOther:
-    case VmSlot::PendingOp::kNone:
-      return false;
-  }
-  return false;
-}
-
-void ClusterManager::ApplyScheduledFault(SimTime now, const ScheduledFault& event) {
-  switch (event.fault) {
-    case FaultClass::kHostCrash: {
-      HostId victim = kNoHost;
-      if (event.target >= 0) {
-        HostId id = static_cast<HostId>(event.target);
-        if (static_cast<size_t>(id) < hosts_.size() && IsConsolidationHost(id) &&
-            HostOf(id).IsPowered()) {
-          victim = id;
-        }
-      } else {
-        // Deterministic pick: the powered consolidation host with the most
-        // resident VMs (ties to the lowest id) — the most damaging crash.
-        size_t best_vms = 0;
-        for (int c = 0; c < config_.num_consolidation_hosts; ++c) {
-          HostId id = static_cast<HostId>(config_.num_home_hosts + c);
-          ClusterHost& host = HostOf(id);
-          if (!host.IsPowered()) {
-            continue;
-          }
-          if (victim == kNoHost || host.vms().size() > best_vms) {
-            victim = id;
-            best_vms = host.vms().size();
-          }
-        }
-      }
-      if (victim == kNoHost) {
-        fault_.RecordSkipped(FaultClass::kHostCrash, now, obs::TraceArgs{event.target});
-        return;
-      }
-      CrashHost(now, victim);
-      return;
-    }
-    case FaultClass::kMemoryServerFailure: {
-      HostId victim = kNoHost;
-      if (event.target >= 0) {
-        HostId id = static_cast<HostId>(event.target);
-        if (id < static_cast<HostId>(config_.num_home_hosts) &&
-            HostOf(id).memory_server_powered()) {
-          victim = id;
-        }
-      } else {
-        // Lowest-id home whose memory server is actually up (i.e. the home
-        // sleeps and partial VMs depend on it).
-        for (int h = 0; h < config_.num_home_hosts; ++h) {
-          HostId id = static_cast<HostId>(h);
-          if (HostOf(id).memory_server_powered()) {
-            victim = id;
-            break;
-          }
-        }
-      }
-      if (victim == kNoHost) {
-        fault_.RecordSkipped(FaultClass::kMemoryServerFailure, now,
-                             obs::TraceArgs{event.target});
-        return;
-      }
-      FailMemoryServer(now, victim);
-      return;
-    }
-    case FaultClass::kMigrationAbort:
-      InjectMigrationAbort(now, event.target);
-      return;
-    case FaultClass::kWolLoss:
-    case FaultClass::kRpcDrop:
-    case FaultClass::kRpcDelay:
-    case FaultClass::kResumeHang:
-      // Query-sampled classes cannot be time-scheduled: there is no pending
-      // operation at an arbitrary instant to attach them to.
-      fault_.RecordSkipped(event.fault, now, obs::TraceArgs{event.target});
-      return;
-  }
-}
-
-void ClusterManager::CrashHost(SimTime now, HostId id) {
-  ClusterHost& host = HostOf(id);
-  // Pass 1: feasibility. A resident whose in-flight op cannot roll back
-  // (in-place conversion, reintegration pull) makes the host briefly
-  // unkillable — the crash is skipped rather than leaving a VM in a state
-  // the simulation cannot account for.
-  for (VmId vid : host.vms()) {
-    const VmSlot& vm = vms_[vid];
-    if (vm.migration_in_flight && !RollbackFeasible(vm)) {
-      fault_.RecordSkipped(FaultClass::kHostCrash, now,
-                           obs::TraceArgs{static_cast<int64_t>(id),
-                                          static_cast<int64_t>(vid)});
-      return;
-    }
-  }
-  fault_.RecordInjected(FaultClass::kHostCrash, now,
-                        obs::TraceArgs{static_cast<int64_t>(id), -1,
-                                       static_cast<int64_t>(host.vms().size())});
-  OASIS_CLOG(kWarning, "cluster") << "host " << id << " crashed with "
-                                  << host.vms().size() << " resident VMs";
-  // Pass 2: in-flight migrations into the crashed host lose their stream;
-  // roll each back to its consistent pre-move state.
-  std::vector<VmId> inflight;
-  for (VmId vid : host.vms()) {
-    if (vms_[vid].migration_in_flight) {
-      inflight.push_back(vid);
-    }
-  }
-  for (VmId vid : inflight) {
-    bool rolled = RollbackMigration(now, Slot(vid));
-    assert(rolled && "feasibility pass admitted an un-rollbackable op");
-    (void)rolled;
-  }
-  SimTime recovered_by = now;
-  // Pass 3: live-migration streams *sourced* at the crashed host (full
-  // returns heading home) lose their source mid-stream; the destination
-  // discards the partial copy and the VM restarts from its home disk image.
-  for (VmSlot& vm : vms_) {
-    if (!vm.migration_in_flight || vm.migration_source != id ||
-        vm.pending_op != VmSlot::PendingOp::kFullReturnMove) {
-      continue;
-    }
-    SimTime powered = HostOf(vm.home).EarliestPoweredTime(now);
-    SimTime done = powered + config_.fault.vm_restart_latency;
-    TraceMigration("crash_restart", now, done, vm.id, vm.home, vm.full_bytes);
-    ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, id);
-    ++metrics_.crash_vm_restarts;
-    recovered_by = std::max(recovered_by, done);
-  }
-  // Pass 4: recover residents. Full VMs restart at home from the disk image
-  // (a home never releases the reservation for its own VM, so capacity is
-  // guaranteed); partials lose their resident pages and reintegrate with
-  // their whole home group below.
-  std::vector<VmId> residents(host.vms().begin(), host.vms().end());
-  std::set<HostId> partial_homes;
-  for (VmId vid : residents) {
-    VmSlot& vm = Slot(vid);
-    if (vm.residency == VmResidency::kPartial) {
-      partial_homes.insert(vm.home);
-      continue;
-    }
-    ClusterHost& home = HostOf(vm.home);
-    StatusOr<SimTime> woken = WakeHost(now, vm.home);
-    SimTime powered = woken.ok() ? *woken : home.EarliestPoweredTime(now);
-    host.Release(vm.full_bytes);
-    host.RemoveVm(now, vid);
-    home.AddVm(now, vid);
-    if (vm.activity == VmActivity::kActive) {
-      AdjustActiveCount(now, id, -1);
-      AdjustActiveCount(now, vm.home, +1);
-    }
-    vm.location = vm.home;
-    vm.residency = VmResidency::kFullAtHome;
-    SimTime done = powered + config_.fault.vm_restart_latency;
-    TraceMigration("crash_restart", now, done, vid, vm.home, vm.full_bytes);
-    ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, id);
-    if (vm.activity == VmActivity::kActive) {
-      metrics_.transition_delay_s.Add((done - now).seconds());
-    }
-    ++metrics_.crash_vm_restarts;
-    recovered_by = std::max(recovered_by, done);
-  }
-  for (HostId home_id : partial_homes) {
-    recovered_by = std::max(recovered_by, ReturnHomeGroup(now, home_id, kNoVm, now));
-  }
-  assert(!host.HasVms() && "crash recovery left a VM behind");
-  host.Crash(now);
-  fault_.RecordRecovered(FaultClass::kHostCrash, now, recovered_by,
-                         obs::TraceArgs{static_cast<int64_t>(id)});
-}
-
-void ClusterManager::FailMemoryServer(SimTime now, HostId home_id) {
-  ClusterHost& home = HostOf(home_id);
-  fault_.RecordInjected(FaultClass::kMemoryServerFailure, now,
-                        obs::TraceArgs{static_cast<int64_t>(home_id), -1,
-                                       CountPartialsHomedAt(home_id)});
-  OASIS_CLOG(kWarning, "cluster")
-      << "memory server of home " << home_id
-      << " failed; emergency-reintegrating its partial VMs";
-  home.SetMemoryServerPowered(now, false);
-  // Partials homed here that are mid-drain lose their backing store too;
-  // roll them back so the group return below covers them.
-  for (VmSlot& vm : vms_) {
-    if (vm.home == home_id && vm.migration_in_flight &&
-        vm.pending_op == VmSlot::PendingOp::kDrainMove) {
-      RollbackMigration(now, vm);
-    }
-  }
-  SimTime done = ReturnHomeGroup(now, home_id, kNoVm, now);
-  fault_.RecordRecovered(FaultClass::kMemoryServerFailure, now, done,
-                         obs::TraceArgs{static_cast<int64_t>(home_id)});
-}
-
-void ClusterManager::InjectMigrationAbort(SimTime now, int64_t target) {
-  for (VmSlot& vm : vms_) {
-    if (target >= 0 && vm.id != static_cast<VmId>(target)) {
-      continue;
-    }
-    if (!RollbackFeasible(vm)) {
-      continue;
-    }
-    // The stream aborts at a page boundary: the destination discards the
-    // half-copied pages and the VM stays (or resumes) at its source with a
-    // consistent image.
-    SimTime started = std::min(vm.migration_start, now);
-    HostId dest = vm.location;
-    fault_.RecordInjected(FaultClass::kMigrationAbort, now,
-                          obs::TraceArgs{static_cast<int64_t>(dest),
-                                         static_cast<int64_t>(vm.id)});
-    bool rolled = RollbackMigration(now, vm);
-    assert(rolled && "RollbackFeasible admitted an un-rollbackable op");
-    (void)rolled;
-    fault_.RecordRecovered(FaultClass::kMigrationAbort, started, now,
-                           obs::TraceArgs{static_cast<int64_t>(vm.location),
-                                          static_cast<int64_t>(vm.id)});
-    return;
-  }
-  fault_.RecordSkipped(FaultClass::kMigrationAbort, now, obs::TraceArgs{-1, target});
-}
-
-void ClusterManager::FinishMigration(SimTime now, VmId vm_id, uint32_t epoch) {
-  VmSlot& vm = Slot(vm_id);
-  if (vm.op_epoch != epoch) {
-    return;  // aborted (or superseded) in the meantime
-  }
-  vm.migration_in_flight = false;
-  vm.pending_op = VmSlot::PendingOp::kNone;
-  if (vm.activation_pending) {
-    vm.activation_pending = false;
-    if (vm.residency == VmResidency::kPartial) {
-      HandleActivation(now, vm_id, vm.activation_time);
-    } else {
-      metrics_.transition_delay_s.Add((now - vm.activation_time).seconds());
-    }
-  }
-}
-
-void ClusterManager::AccrueEnergy(SimTime now) {
-  metrics_.home_host_energy = 0.0;
-  metrics_.consolidation_host_energy = 0.0;
-  metrics_.memory_server_energy = 0.0;
-  for (const auto& host : hosts_) {
-    host->AdvanceLedger(now);
-    Joules e = host->HostEnergy(now);
-    if (host->kind() == HostKind::kHome) {
-      metrics_.home_host_energy += e;
-    } else {
-      metrics_.consolidation_host_energy += e;
-    }
-    metrics_.memory_server_energy += host->MemoryServerEnergy(now);
-  }
-}
-
-uint64_t ClusterManager::SampleWorkingSet() {
-  return ws_sampler_.Sample(config_.vm_memory_bytes);
-}
-
-void ClusterManager::RecordPartialMigrationTraffic(SimTime now, VmSlot& vm) {
-  metrics_.traffic.Add(TrafficCategory::kPartialDescriptor, config_.volumes.descriptor_bytes);
-  bool first = !vm_ever_uploaded_[vm.id];
-  vm_ever_uploaded_[vm.id] = true;
-  uint64_t upload = first ? config_.volumes.first_upload_bytes
-                          : config_.volumes.repeat_upload_bytes;
-  metrics_.traffic.Add(TrafficCategory::kMemoryUpload, upload);
-  ++metrics_.partial_migrations;
-  if (obs::Tracer* t = obs::Tracer::IfEnabled()) {
-    t->Complete("migration", "descriptor_push", now, now,
-                obs::TraceArgs{static_cast<int64_t>(vm.location),
-                               static_cast<int64_t>(vm.id),
-                               static_cast<int64_t>(config_.volumes.descriptor_bytes)});
-    t->Complete("migration", "memory_upload", now, now,
-                obs::TraceArgs{static_cast<int64_t>(vm.home),
-                               static_cast<int64_t>(vm.id),
-                               static_cast<int64_t>(upload)});
-  }
-  if (obs::MetricsRegistry* m = obs::MetricsRegistry::IfEnabled()) {
-    m->counter("cluster.descriptor_pushes")->Increment();
-  }
 }
 
 }  // namespace oasis

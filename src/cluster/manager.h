@@ -1,17 +1,24 @@
 // The Oasis cluster manager (§3) driving a trace-driven simulated day (§5).
 //
+// The manager is a thin orchestrator over three layers (DESIGN.md,
+// "Control-plane layering"):
+//
+//   ClusterView            what strategies read    (src/cluster/view.h)
+//   ConsolidationStrategy  decides, per interval   (src/cluster/strategy.h)
+//   Actuator               all mechanism/mutation  (src/cluster/actuator.h)
+//
 // Every planning interval (5 minutes) the manager:
-//   1. applies the activity trace to all VMs, servicing idle->active
-//      transitions (in-place conversion to a full VM, NewHome moves, or the
-//      Default wake-home-and-return-all fallback);
+//   1. applies the activity trace to all VMs, handing idle->active
+//      transitions to the actuator (in-place conversion to a full VM,
+//      NewHome moves, or the Default wake-home-and-return-all fallback);
 //   2. runs per-partial-VM upkeep: on-demand fetch traffic, dirty-state
 //      growth, and working-set growth (which can exhaust a consolidation
 //      host and force a return);
-//   3. runs the consolidation policy: FulltoPartial swaps of idle full VMs
-//      on consolidation hosts, then greedy vacate planning that migrates
-//      active VMs in full and idle VMs partially so home hosts can sleep,
-//      gated on the plan actually reducing total power draw;
-//   4. records the timeline/energy/latency/traffic metrics of §5.
+//   3. runs the configured consolidation strategy (config.strategy_name;
+//      the default "oasis-greedy" reproduces the paper's §3 algorithm and
+//      the pre-refactor manager byte for byte);
+//   4. sweeps mechanism-owned sleep opportunities and records the
+//      timeline/energy/latency/traffic metrics of §5.
 //
 // Migration latencies serialize on per-host channels and host S3 transitions
 // take their measured 3.1 s / 2.3 s, so reintegration storms and wake-ups
@@ -26,12 +33,13 @@
 #define OASIS_SRC_CLUSTER_MANAGER_H_
 
 #include <memory>
-#include <unordered_map>
-#include <vector>
 
+#include "src/cluster/actuator.h"
 #include "src/cluster/cluster_types.h"
 #include "src/cluster/host.h"
 #include "src/cluster/metrics.h"
+#include "src/cluster/strategy.h"
+#include "src/cluster/view.h"
 #include "src/common/rng.h"
 #include "src/mem/working_set.h"
 #include "src/sim/simulator.h"
@@ -61,94 +69,24 @@ class ClusterManager {
   const ClusterConfig& config() const { return config_; }
 
   // Read-only introspection for tests and diagnostics.
-  const ClusterHost& GetHost(HostId id) const { return *hosts_[id]; }
-  const VmSlot& GetVm(VmId id) const { return vms_[id]; }
-  size_t num_hosts() const { return hosts_.size(); }
-  size_t num_vms() const { return vms_.size(); }
+  const ClusterHost& GetHost(HostId id) const { return *state_.hosts[id]; }
+  const VmSlot& GetVm(VmId id) const { return state_.vms[id]; }
+  size_t num_hosts() const { return state_.hosts.size(); }
+  size_t num_vms() const { return state_.vms.size(); }
   const FaultInjector& fault_injector() const { return fault_; }
+  const ConsolidationStrategy& strategy() const { return *strategy_; }
+
+  // The strategies' window onto this cluster. Exposed so strategy unit
+  // tests can drive planning entry points (e.g. BuildVacatePlan) against a
+  // manager's real state without simulating a day. Non-const because the
+  // view carries the shared planning streams.
+  ClusterView View() { return ClusterView(config_, state_, &rng_, &ws_sampler_); }
 
  private:
   // --- interval pipeline --------------------------------------------------
   void OnInterval(SimTime now, int interval);
   void UpdateActivities(SimTime now, int interval);
-  void PartialVmUpkeep(SimTime now);
-  void Plan(SimTime now);
-  void PlanFullToPartialSwaps(SimTime now);
-  void PlanVacations(SimTime now);
-  void DrainConsolidationHosts(SimTime now);
-  void SleepIdleConsolidationHosts(SimTime now);
   void RecordSnapshot(SimTime now, int interval);
-
-  // --- transition handling --------------------------------------------------
-  void HandleActivation(SimTime now, VmId vm_id, SimTime activation_time);
-  bool TryConvertInPlace(SimTime now, VmSlot& vm, SimTime activation_time);
-  bool TryNewHome(SimTime now, VmSlot& vm, SimTime activation_time);
-  // Returns when the last migration of the group completes (>= now even when
-  // there was nothing to move), so fault recovery can bound its spans.
-  SimTime ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
-                          SimTime activation_time);
-
-  // --- fault handling -------------------------------------------------------
-  // Dispatches one FaultPlan event at its scheduled time.
-  void ApplyScheduledFault(SimTime now, const ScheduledFault& event);
-  // Instant power loss on a consolidation host: rolls back what can roll
-  // back, restarts full VMs at their homes, emergency-reintegrates partials,
-  // then cuts the power.
-  void CrashHost(SimTime now, HostId id);
-  // A sleeping home's memory server dies: its partial VMs lose their backing
-  // store, so the home is woken and the whole group reintegrated.
-  void FailMemoryServer(SimTime now, HostId home_id);
-  // Aborts one in-flight migration at a page boundary (rolling it back to a
-  // consistent resident state). `target` picks a VM, -1 the lowest eligible.
-  void InjectMigrationAbort(SimTime now, int64_t target);
-  // The abort bookkeeping shared by user-triggered aborts (which gate on the
-  // transfer not having started) and injected stream aborts (which do not).
-  bool RollbackMigration(SimTime now, VmSlot& vm);
-  // Whether RollbackMigration would succeed for `vm` right now.
-  bool RollbackFeasible(const VmSlot& vm) const;
-
-  // --- vacate machinery -----------------------------------------------------
-  struct VacatePlan {
-    std::vector<HostId> hosts_to_vacate;
-    // Parallel to hosts_to_vacate: (vm, destination) for every VM on it.
-    std::vector<std::vector<std::pair<VmId, HostId>>> placements;
-    double net_power_delta_watts = 0.0;  // positive means the plan saves power
-    int newly_woken_consolidation_hosts = 0;
-  };
-  VacatePlan BuildVacatePlan(SimTime now, bool allow_waking_consolidation_hosts,
-                             const std::unordered_map<VmId, uint64_t>& planned_ws);
-  void CommitVacatePlan(SimTime now, const VacatePlan& plan,
-                        const std::unordered_map<VmId, uint64_t>& planned_ws);
-  bool HostEligibleForVacate(const ClusterHost& host, SimTime now) const;
-
-  // --- helpers --------------------------------------------------------------
-  ClusterHost& HostOf(HostId id) { return *hosts_[id]; }
-  VmSlot& Slot(VmId id) { return vms_[id]; }
-  bool IsConsolidationHost(HostId id) const {
-    return id >= static_cast<HostId>(config_.num_home_hosts);
-  }
-  void AdjustActiveCount(SimTime now, HostId host, int delta);
-  // Idle long enough that the manager's idleness detector trusts it.
-  bool TrustedIdle(const VmSlot& vm, SimTime now) const;
-  // Sends the WoL and returns the time the host will be executing VMs. With
-  // fault injection the wake can lose WoL packets or hang in resume, pushing
-  // that time out; callers must use the returned value rather than asking
-  // the host directly.
-  StatusOr<SimTime> WakeHost(SimTime now, HostId id);
-  void RefreshMemoryServer(SimTime now, HostId home_id);
-  int CountPartialsHomedAt(HostId home_id) const;
-  void MaybeSleepHomeHost(SimTime now, HostId host_id);
-  // Marks `vm` in flight for [start, done) and schedules completion.
-  void ScheduleMigration(VmSlot& vm, SimTime start, SimTime done, VmSlot::PendingOp op,
-                         HostId source);
-  // Cancels a queued-but-not-started migration when the user returns.
-  // Returns true if the VM was reverted (it then holds its full resources or
-  // remains partial at its drain source).
-  bool TryAbortPendingMigration(SimTime now, VmSlot& vm);
-  void FinishMigration(SimTime now, VmId vm_id, uint32_t epoch);
-  void AccrueEnergy(SimTime now);
-  uint64_t SampleWorkingSet();
-  void RecordPartialMigrationTraffic(SimTime now, VmSlot& vm);
 
   ClusterConfig config_;
   TraceSet trace_;
@@ -157,15 +95,10 @@ class ClusterManager {
   Rng rng_;
   WorkingSetSampler ws_sampler_;
   FaultInjector fault_;
-  std::vector<std::unique_ptr<ClusterHost>> hosts_;
-  std::vector<VmSlot> vms_;
-  std::vector<bool> vm_ever_uploaded_;
-  // Per host: when a fault-delayed wake will have the host powered
-  // (SimTime::Zero() = no delayed wake pending). Duplicate wake requests
-  // while the WoL retry loop runs join the pending wake instead of sampling
-  // new faults.
-  std::vector<SimTime> pending_wake_powered_at_;
+  ClusterState state_;
   ClusterMetrics metrics_;
+  std::unique_ptr<ConsolidationStrategy> strategy_;
+  Actuator act_;  // constructed last: holds references to everything above
 };
 
 }  // namespace oasis

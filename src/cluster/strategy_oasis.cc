@@ -1,0 +1,335 @@
+#include "src/cluster/strategy_oasis.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/actuator.h"
+
+namespace oasis {
+
+PlanActions OasisGreedyStrategy::PlanInterval(const ClusterView& view, SimTime now,
+                                              Actuator& act) {
+  PlanActions actions;
+  const ClusterConfig& config = view.config();
+  if (config.policy == ConsolidationPolicy::kFullToPartial ||
+      config.policy == ConsolidationPolicy::kNewHome) {
+    PlanFullToPartialSwaps(view, now, act, actions);
+  }
+  PlanVacations(view, now, act, actions);
+  actions.drain_moves += DrainConsolidationHosts(view, now, act);
+  return actions;
+}
+
+int OasisGreedyStrategy::PlanFullToPartialSwaps(const ClusterView& view, SimTime now,
+                                                Actuator& act, PlanActions& actions) const {
+  // Idle full VMs parked on consolidation hosts go home and come back as
+  // partials, freeing most of their reservation (§3.2 FulltoPartial).
+  std::map<HostId, std::vector<VmId>> by_home;
+  for (size_t v = 0; v < view.num_vms(); ++v) {
+    const VmSlot& vm = view.vm(static_cast<VmId>(v));
+    if (vm.residency == VmResidency::kFullAtConsolidation && view.TrustedIdle(vm, now) &&
+        !vm.migration_in_flight) {
+      by_home[vm.home].push_back(vm.id);
+    }
+  }
+  for (const auto& [home_id, group] : by_home) {
+    act.FullToPartialSwapGroup(now, home_id, group);
+    ++actions.full_to_partial_swap_groups;
+    actions.swapped_vms += static_cast<int>(group.size());
+  }
+  return static_cast<int>(by_home.size());
+}
+
+bool OasisGreedyStrategy::HostEligibleForVacate(const ClusterView& view,
+                                                const ClusterHost& host, SimTime now) const {
+  if (!host.IsHomeHost() || !host.IsPowered() || !host.HasVms()) {
+    return false;
+  }
+  for (VmId id : host.vms()) {
+    const VmSlot& vm = view.vm(id);
+    if (vm.migration_in_flight || vm.location != host.id()) {
+      return false;
+    }
+    // OnlyPartial never migrates VMs in full, so every VM must be (trusted)
+    // idle before the host can be emptied.
+    if (view.config().policy == ConsolidationPolicy::kOnlyPartial &&
+        !view.TrustedIdle(vm, now)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unordered_map<VmId, uint64_t> OasisGreedyStrategy::PresampleWorkingSets(
+    const ClusterView& view, SimTime now) const {
+  std::unordered_map<VmId, uint64_t> planned_ws;
+  for (size_t h = 0; h < view.num_hosts(); ++h) {
+    const ClusterHost& host = view.host(static_cast<HostId>(h));
+    if (!host.IsHomeHost() || !HostEligibleForVacate(view, host, now)) {
+      continue;
+    }
+    for (VmId id : host.vms()) {
+      if (view.TrustedIdle(view.vm(id), now)) {
+        planned_ws[id] = view.SampleWorkingSet();
+      }
+    }
+  }
+  return planned_ws;
+}
+
+VacatePlan OasisGreedyStrategy::BuildVacatePlan(
+    const ClusterView& view, SimTime now, bool allow_waking_consolidation_hosts,
+    const std::unordered_map<VmId, uint64_t>& planned_ws) const {
+  const ClusterConfig& config = view.config();
+  VacatePlan plan;
+  // Candidate home hosts sorted by ascending total memory demand (§3.1).
+  struct Candidate {
+    HostId host;
+    uint64_t demand;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t h = 0; h < view.num_hosts(); ++h) {
+    const ClusterHost& host = view.host(static_cast<HostId>(h));
+    if (!host.IsHomeHost() || !HostEligibleForVacate(view, host, now)) {
+      continue;
+    }
+    uint64_t demand = 0;
+    for (VmId id : host.vms()) {
+      const VmSlot& vm = view.vm(id);
+      demand += view.TrustedIdle(vm, now) ? planned_ws.at(id) : vm.full_bytes;
+    }
+    candidates.push_back({host.id(), demand});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.demand < b.demand; });
+
+  // Snapshot consolidation-host free space. Powered hosts come first so the
+  // random destination choice only spills onto sleeping hosts (waking them)
+  // when the powered ones are full.
+  struct Dest {
+    HostId host;
+    uint64_t available;
+    int active_slots;  // CPU headroom for incoming active VMs
+    bool sleeping;
+    bool used = false;
+  };
+  std::vector<Dest> dests;
+  size_t powered_dests = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t h = 0; h < view.num_hosts(); ++h) {
+      const ClusterHost& host = view.host(static_cast<HostId>(h));
+      if (!host.IsConsolidationHost()) {
+        continue;
+      }
+      int slots = config.MaxActiveVmsPerHost() - host.active_vms();
+      bool awake = host.IsPowered() || host.power_state() == HostPowerState::kResuming;
+      if (pass == 0 && awake) {
+        dests.push_back({host.id(), host.AvailableBytes(), slots, false});
+        ++powered_dests;
+      } else if (pass == 1 && !awake && allow_waking_consolidation_hosts) {
+        dests.push_back({host.id(), host.AvailableBytes(), slots, true});
+      }
+    }
+  }
+
+  for (const Candidate& cand : candidates) {
+    const ClusterHost& host = view.host(cand.host);
+    std::vector<VacatePlacement> placement;
+    struct Tentative {
+      size_t idx;
+      uint64_t bytes;
+      bool active;
+    };
+    std::vector<Tentative> tentative;
+    bool ok = true;
+    for (VmId id : host.vms()) {
+      const VmSlot& vm = view.vm(id);
+      bool consumes_cpu = vm.activity == VmActivity::kActive;
+      bool as_partial = view.TrustedIdle(vm, now);
+      uint64_t need = as_partial ? planned_ws.at(id) : vm.full_bytes;
+      // Destination choice (§3.1): random among powered consolidation hosts
+      // with room; spill onto sleeping hosts first-fit in a fixed order so
+      // the plan wakes as few of them as possible. Active VMs additionally
+      // need a CPU slot (assumption 1's 3x over-subscription cap).
+      bool placed = false;
+      auto try_segment = [&](size_t first, size_t count, bool randomize) {
+        if (count == 0 || placed) {
+          return;
+        }
+        size_t start = randomize ? first + view.planning_rng().NextBelow(count) : first;
+        for (size_t k = 0; k < count; ++k) {
+          size_t idx = first + (start - first + k) % count;
+          Dest& d = dests[idx];
+          if (d.available >= need && (!consumes_cpu || d.active_slots > 0)) {
+            d.available -= need;
+            if (consumes_cpu) {
+              --d.active_slots;
+            }
+            tentative.push_back({idx, need, consumes_cpu});
+            placement.push_back({id, d.host, as_partial, need});
+            placed = true;
+            return;
+          }
+        }
+      };
+      try_segment(0, powered_dests, /*randomize=*/true);
+      try_segment(powered_dests, dests.size() - powered_dests, /*randomize=*/false);
+      if (!placed) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      for (const Tentative& t : tentative) {
+        dests[t.idx].available += t.bytes;
+        if (t.active) {
+          ++dests[t.idx].active_slots;
+        }
+      }
+      continue;
+    }
+    for (const Tentative& t : tentative) {
+      dests[t.idx].used = true;
+    }
+    plan.hosts_to_vacate.push_back(cand.host);
+    plan.placements.push_back(std::move(placement));
+  }
+
+  // Net power effect (§3.1: consolidate only when it saves energy): a
+  // vacated home stops drawing its loaded-host power and costs S3 plus the
+  // memory server; every sleeping consolidation host we wake will run loaded.
+  const HostPowerProfile& p = config.host_power;
+  Watts loaded = p.Draw(HostPowerState::kPowered, config.vms_per_home);
+  double saved_per_home =
+      loaded - p.sleep_watts - config.memory_server_power.TotalWatts();
+  int woken = 0;
+  for (const Dest& d : dests) {
+    if (d.sleeping && d.used) {
+      ++woken;
+    }
+  }
+  plan.newly_woken_consolidation_hosts = woken;
+  plan.net_power_delta_watts =
+      static_cast<double>(plan.hosts_to_vacate.size()) * saved_per_home -
+      static_cast<double>(woken) * (loaded - p.sleep_watts);
+  return plan;
+}
+
+void OasisGreedyStrategy::PlanVacations(const ClusterView& view, SimTime now, Actuator& act,
+                                        PlanActions& actions) const {
+  // Pre-sample the working set each idle VM would consolidate with, shared
+  // by both plan variants so they compare like for like.
+  std::unordered_map<VmId, uint64_t> planned_ws = PresampleWorkingSets(view, now);
+  if (planned_ws.empty() && view.config().policy == ConsolidationPolicy::kOnlyPartial) {
+    return;
+  }
+  VacatePlan conservative = BuildVacatePlan(view, now, /*allow_waking=*/false, planned_ws);
+  VacatePlan aggressive = BuildVacatePlan(view, now, /*allow_waking=*/true, planned_ws);
+  VacatePlan* best = &conservative;
+  if (aggressive.net_power_delta_watts > conservative.net_power_delta_watts) {
+    best = &aggressive;
+  }
+  // §3.1: consolidate only when it saves energy.
+  if (best->net_power_delta_watts <= 0.0 || best->hosts_to_vacate.empty()) {
+    return;
+  }
+  act.CommitVacatePlan(now, *best);
+  actions.vacated_hosts += static_cast<int>(best->hosts_to_vacate.size());
+  for (const auto& placements : best->placements) {
+    actions.vacate_moves += static_cast<int>(placements.size());
+  }
+  actions.committed_power_delta_watts += best->net_power_delta_watts;
+}
+
+int OasisGreedyStrategy::DrainConsolidationHosts(const ClusterView& view, SimTime now,
+                                                 Actuator& act) const {
+  // §3.1's plan search minimizes the number of powered hosts, which includes
+  // consolidation hosts: one whose guests are all partial VMs can push them
+  // to its powered peers and sleep. Only descriptors and resident pages
+  // move — the VMs' memory images stay on their homes' memory servers.
+  //
+  // Draining is incremental: each interval moves at most as many VMs as fit
+  // into the interval (the moves serialize on the source's outbound path),
+  // so a heavily loaded host empties over several intervals.
+  const ClusterTimings& t = view.config().timings;
+  size_t max_moves = static_cast<size_t>(view.config().planning_interval.seconds() /
+                                         t.partial_migration.seconds());
+
+  // The drain source: the least-occupied powered consolidation host whose
+  // guests are all partial, provided its peers have room for all of it.
+  HostId source_id = kNoHost;
+  uint64_t best_reserved = 0;
+  for (size_t h = 0; h < view.num_hosts(); ++h) {
+    const ClusterHost& host = view.host(static_cast<HostId>(h));
+    if (!host.IsConsolidationHost()) {
+      continue;
+    }
+    if (!host.IsPowered() || !host.HasVms() || host.outbound_busy_until() > now) {
+      continue;
+    }
+    bool all_partial = true;
+    for (VmId vm_id : host.vms()) {
+      const VmSlot& vm = view.vm(vm_id);
+      if (vm.residency != VmResidency::kPartial || vm.migration_in_flight) {
+        all_partial = false;
+        break;
+      }
+    }
+    if (!all_partial) {
+      continue;
+    }
+    if (source_id == kNoHost || host.reserved_bytes() < best_reserved) {
+      source_id = host.id();
+      best_reserved = host.reserved_bytes();
+    }
+  }
+  if (source_id == kNoHost) {
+    return 0;
+  }
+  const ClusterHost& source = view.host(source_id);
+  uint64_t peer_spare = 0;
+  for (size_t h = 0; h < view.num_hosts(); ++h) {
+    const ClusterHost& host = view.host(static_cast<HostId>(h));
+    if (host.IsConsolidationHost() && host.id() != source_id && host.IsPowered()) {
+      peer_spare += host.AvailableBytes();
+    }
+  }
+  // Don't start (or continue) a drain that cannot complete; partially
+  // drained hosts still burn full power.
+  if (peer_spare < source.reserved_bytes() + source.reserved_bytes() / 8) {
+    return 0;
+  }
+
+  std::vector<VmId> movable(source.vms().begin(), source.vms().end());
+  size_t moved = 0;
+  for (VmId vm_id : movable) {
+    if (moved >= max_moves) {
+      break;
+    }
+    const VmSlot& vm = view.vm(vm_id);
+    HostId dest_id = kNoHost;
+    for (size_t h = 0; h < view.num_hosts(); ++h) {
+      const ClusterHost& host = view.host(static_cast<HostId>(h));
+      if (host.IsConsolidationHost() && host.id() != source_id && host.IsPowered() &&
+          host.CanFit(vm.ws_bytes)) {
+        dest_id = host.id();
+        break;
+      }
+    }
+    if (dest_id == kNoHost) {
+      break;
+    }
+    act.DrainMove(now, vm_id, dest_id);
+    ++moved;
+  }
+  // The emptied host sleeps at the next sweep once its channel drains.
+  return static_cast<int>(moved);
+}
+
+std::unique_ptr<ConsolidationStrategy> MakeOasisGreedyStrategy() {
+  return std::make_unique<OasisGreedyStrategy>();
+}
+
+}  // namespace oasis

@@ -1,0 +1,52 @@
+// The paper's §3 consolidation algorithm as a pluggable strategy (the
+// "oasis-greedy" registry entry, and the default).
+//
+// The planning passes run in the legacy monolithic manager's exact order —
+// FulltoPartial swaps, power-gated vacate planning, incremental draining —
+// and draw from the shared planning streams at the exact same points, so a
+// run under this strategy is byte-identical to the pre-refactor manager.
+//
+// The class is exposed (rather than hidden behind its factory) so tests can
+// drive BuildVacatePlan directly against a manager's view and assert on the
+// power-delta gate without running a whole day.
+
+#ifndef OASIS_SRC_CLUSTER_STRATEGY_OASIS_H_
+#define OASIS_SRC_CLUSTER_STRATEGY_OASIS_H_
+
+#include <unordered_map>
+
+#include "src/cluster/strategy.h"
+
+namespace oasis {
+
+class OasisGreedyStrategy : public ConsolidationStrategy {
+ public:
+  const char* name() const override { return kDefaultStrategyName; }
+  PlanActions PlanInterval(const ClusterView& view, SimTime now, Actuator& act) override;
+
+  // Pre-samples the working set each trusted-idle VM on a vacate-eligible
+  // home would consolidate with. Both plan variants share the samples so
+  // they compare like for like.
+  std::unordered_map<VmId, uint64_t> PresampleWorkingSets(const ClusterView& view,
+                                                          SimTime now) const;
+  // Builds (without committing) one vacate plan: candidate homes by
+  // ascending demand, random destinations among powered consolidation
+  // hosts, first-fit spill onto sleeping ones when allowed, and the §3.1
+  // net power delta of executing it.
+  VacatePlan BuildVacatePlan(const ClusterView& view, SimTime now,
+                             bool allow_waking_consolidation_hosts,
+                             const std::unordered_map<VmId, uint64_t>& planned_ws) const;
+  bool HostEligibleForVacate(const ClusterView& view, const ClusterHost& host,
+                             SimTime now) const;
+
+ private:
+  int PlanFullToPartialSwaps(const ClusterView& view, SimTime now, Actuator& act,
+                             PlanActions& actions) const;
+  void PlanVacations(const ClusterView& view, SimTime now, Actuator& act,
+                     PlanActions& actions) const;
+  int DrainConsolidationHosts(const ClusterView& view, SimTime now, Actuator& act) const;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CLUSTER_STRATEGY_OASIS_H_

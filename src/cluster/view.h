@@ -1,0 +1,90 @@
+// Read-only cluster snapshot consumed by consolidation strategies.
+//
+// The control plane is layered (see DESIGN.md, "Control-plane layering"):
+//
+//   ClusterView  — what a strategy may *read*: hosts, VM slots, residency,
+//                  working-set/dirty accounting, power states, plus the two
+//                  deterministic planning streams (random choice and
+//                  working-set sampling).
+//   Strategy     — decides *what* to do each interval (src/cluster/strategy.h).
+//   Actuator     — the only layer that may *mutate* hosts and VM slots
+//                  (src/cluster/actuator.h).
+//
+// A strategy holds no state of its own and receives nothing but a view and
+// an actuator, so by construction it can neither touch a host directly nor
+// smuggle information between intervals.
+
+#ifndef OASIS_SRC_CLUSTER_VIEW_H_
+#define OASIS_SRC_CLUSTER_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster_types.h"
+#include "src/cluster/host.h"
+#include "src/common/rng.h"
+#include "src/mem/working_set.h"
+
+namespace oasis {
+
+// The cluster's entire mutable state, owned by ClusterManager. Hosts are
+// stored homes-first in id order (host id == index); VM slots in id order
+// (vm id == index). Only the Actuator mutates it (plus the owning manager,
+// which applies the activity trace); strategies read it through ClusterView.
+struct ClusterState {
+  std::vector<std::unique_ptr<ClusterHost>> hosts;
+  std::vector<VmSlot> vms;
+  // Whether each VM has ever uploaded its compressed image to its memory
+  // server (the first upload ships the whole touched image, later ones only
+  // the delta, §4.4.2).
+  std::vector<bool> vm_ever_uploaded;
+  // Per host: when a fault-delayed wake will have the host powered
+  // (SimTime::Zero() = no delayed wake pending).
+  std::vector<SimTime> pending_wake_powered_at;
+};
+
+// The strategies' window onto ClusterState. Cheap to construct (four
+// pointers); valid only while the owning ClusterManager is alive and only
+// within the planning call it was handed to.
+class ClusterView {
+ public:
+  ClusterView(const ClusterConfig& config, const ClusterState& state, Rng* planning_rng,
+              WorkingSetSampler* ws_sampler)
+      : config_(&config), state_(&state), rng_(planning_rng), ws_sampler_(ws_sampler) {}
+
+  const ClusterConfig& config() const { return *config_; }
+  size_t num_hosts() const { return state_->hosts.size(); }
+  size_t num_vms() const { return state_->vms.size(); }
+  const ClusterHost& host(HostId id) const { return *state_->hosts[id]; }
+  const VmSlot& vm(VmId id) const { return state_->vms[id]; }
+
+  // Idle long enough that the idleness detector trusts it (§3.1's smoothing
+  // window over the resource-usage monitor).
+  bool TrustedIdle(const VmSlot& vm, SimTime now) const {
+    if (vm.activity != VmActivity::kIdle) {
+      return false;
+    }
+    SimTime window = config_->planning_interval * config_->idle_smoothing_intervals;
+    return now - vm.idle_since >= window;
+  }
+
+  // The deterministic planning streams. Both advance a cursor shared with
+  // the whole simulation, so *when* a strategy draws is part of its
+  // observable behavior: the default strategy reproduces the legacy manager
+  // byte for byte precisely because it draws in the same order the monolith
+  // did. Strategies must draw only while planning (never store the refs).
+  Rng& planning_rng() const { return *rng_; }
+  uint64_t SampleWorkingSet() const {
+    return ws_sampler_->Sample(config_->vm_memory_bytes);
+  }
+
+ private:
+  const ClusterConfig* config_;
+  const ClusterState* state_;
+  Rng* rng_;
+  WorkingSetSampler* ws_sampler_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_CLUSTER_VIEW_H_

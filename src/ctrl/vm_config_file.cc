@@ -119,6 +119,14 @@ StatusOr<VmConfigFile> ParseVmConfig(const std::string& text) {
       config.vcpus = n;
     } else if (key == "device") {
       config.devices.push_back(value);
+    } else if (key == "policy") {
+      StatusOr<ConsolidationPolicy> policy = ParseConsolidationPolicy(value);
+      if (!policy.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) + ": " +
+                                       policy.status().message());
+      }
+      config.policy = *policy;
+      config.has_policy = true;
     } else {
       return Status::InvalidArgument("line " + std::to_string(line_number) +
                                      ": unknown key '" + key + "'");
@@ -144,6 +152,9 @@ std::string SerializeVmConfig(const VmConfigFile& config) {
   os << "vcpus = " << config.vcpus << "\n";
   for (const std::string& device : config.devices) {
     os << "device = " << device << "\n";
+  }
+  if (config.has_policy) {
+    os << "policy = " << ConsolidationPolicyName(config.policy) << "\n";
   }
   return os.str();
 }

@@ -13,6 +13,7 @@
 //   vcpus  = 1
 //   device = net:bridge0
 //   device = vfb:vnc,port=5942
+//   policy = FulltoPartial        # optional consolidation-policy override
 
 #ifndef OASIS_SRC_CTRL_VM_CONFIG_FILE_H_
 #define OASIS_SRC_CTRL_VM_CONFIG_FILE_H_
@@ -21,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster_types.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 
@@ -32,6 +34,11 @@ struct VmConfigFile {
   uint64_t memory_bytes = 0;
   int vcpus = 1;
   std::vector<std::string> devices;
+  // Optional per-VM consolidation-policy override (the `policy` key, one of
+  // the ConsolidationPolicyName spellings). has_policy distinguishes "key
+  // absent" from an explicit default.
+  bool has_policy = false;
+  ConsolidationPolicy policy = ConsolidationPolicy::kFullToPartial;
 
   // Numeric form of the vmid.
   uint32_t VmidNumber() const;

@@ -13,8 +13,8 @@ ClusterConfig TestConfig() {
 
 TEST(ClusterHostTest, InitialState) {
   ClusterConfig config = TestConfig();
-  ClusterHost powered(0, HostKind::kHome, config, true);
-  ClusterHost asleep(1, HostKind::kConsolidation, config, false);
+  ClusterHost powered(0, HostRole::kHome, config, true);
+  ClusterHost asleep(1, HostRole::kConsolidation, config, false);
   EXPECT_TRUE(powered.IsPowered());
   EXPECT_TRUE(asleep.IsAsleep());
   EXPECT_EQ(powered.capacity_bytes(), 128 * kGiB);
@@ -23,7 +23,7 @@ TEST(ClusterHostTest, InitialState) {
 }
 
 TEST(ClusterHostTest, ReserveRelease) {
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   host.Reserve(100 * kGiB);
   EXPECT_EQ(host.AvailableBytes(), 28 * kGiB);
   EXPECT_TRUE(host.CanFit(28 * kGiB));
@@ -34,7 +34,7 @@ TEST(ClusterHostTest, ReserveRelease) {
 
 TEST(ClusterHostTest, SleepTakesSuspendLatency) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   host.RequestSleep(sim);
   EXPECT_EQ(host.power_state(), HostPowerState::kSuspending);
   sim.RunUntil(SimTime::Seconds(3.0));
@@ -45,7 +45,7 @@ TEST(ClusterHostTest, SleepTakesSuspendLatency) {
 
 TEST(ClusterHostTest, WakeTakesResumeLatency) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), false);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), false);
   SimTime powered_at;
   host.RequestWake(sim, [&](SimTime t) { powered_at = t; });
   EXPECT_EQ(host.power_state(), HostPowerState::kResuming);
@@ -56,7 +56,7 @@ TEST(ClusterHostTest, WakeTakesResumeLatency) {
 
 TEST(ClusterHostTest, WakeWhenPoweredFiresImmediately) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   bool fired = false;
   host.RequestWake(sim, [&](SimTime) { fired = true; });
   EXPECT_TRUE(fired);
@@ -64,7 +64,7 @@ TEST(ClusterHostTest, WakeWhenPoweredFiresImmediately) {
 
 TEST(ClusterHostTest, WakeDuringSuspendQueuesBehindIt) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   host.RequestSleep(sim);
   SimTime powered_at;
   sim.ScheduleAfter(SimTime::Seconds(1), [&] {
@@ -78,7 +78,7 @@ TEST(ClusterHostTest, WakeDuringSuspendQueuesBehindIt) {
 
 TEST(ClusterHostTest, OnAsleepCallbackFires) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   SimTime asleep_at;
   host.RequestSleep(sim, [&](SimTime t) { asleep_at = t; });
   sim.RunToCompletion();
@@ -87,14 +87,14 @@ TEST(ClusterHostTest, OnAsleepCallbackFires) {
 
 TEST(ClusterHostTest, SleepRequestIgnoredUnlessPowered) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), false);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), false);
   host.RequestSleep(sim);
   EXPECT_TRUE(host.IsAsleep());  // unchanged, no crash
 }
 
 TEST(ClusterHostTest, MultipleWakeWaitersAllFire) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), false);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), false);
   int fired = 0;
   host.RequestWake(sim, [&](SimTime) { ++fired; });
   host.RequestWake(sim, [&](SimTime) { ++fired; });
@@ -104,7 +104,7 @@ TEST(ClusterHostTest, MultipleWakeWaitersAllFire) {
 
 TEST(ClusterHostTest, EarliestPoweredTime) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   EXPECT_EQ(host.EarliestPoweredTime(SimTime::Zero()), SimTime::Zero());
   host.RequestSleep(sim);
   // Suspending: must finish suspend then resume.
@@ -114,7 +114,7 @@ TEST(ClusterHostTest, EarliestPoweredTime) {
 }
 
 TEST(ClusterHostTest, OutboundMigrationsSerialize) {
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   SimTime d1 = host.EnqueueOutboundMigration(SimTime::Zero(), SimTime::Seconds(10));
   SimTime d2 = host.EnqueueOutboundMigration(SimTime::Zero(), SimTime::Seconds(7.2));
   EXPECT_EQ(d1, SimTime::Seconds(10));
@@ -123,7 +123,7 @@ TEST(ClusterHostTest, OutboundMigrationsSerialize) {
 }
 
 TEST(ClusterHostTest, InboundTransfersSerializeIndependently) {
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   host.EnqueueOutboundMigration(SimTime::Zero(), SimTime::Seconds(100));
   SimTime d = host.EnqueueInboundTransfer(SimTime::Zero(), SimTime::Seconds(1.5));
   EXPECT_NEAR(d.seconds(), 1.5, 1e-9);  // unaffected by outbound backlog
@@ -131,14 +131,14 @@ TEST(ClusterHostTest, InboundTransfersSerializeIndependently) {
 
 TEST(ClusterHostTest, EnergyAccountsStates) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   // Powered and empty: 102.2 W for one hour.
   Joules e1 = host.HostEnergy(SimTime::Hours(1));
   EXPECT_NEAR(ToWattHours(e1), 102.2, 0.01);
 }
 
 TEST(ClusterHostTest, VmResidencyRaisesDraw) {
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   for (VmId v = 0; v < 30; ++v) {
     host.AddVm(SimTime::Zero(), v);
   }
@@ -148,7 +148,7 @@ TEST(ClusterHostTest, VmResidencyRaisesDraw) {
 
 TEST(ClusterHostTest, SleepEnergyIncludesTransitionSpike) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   host.RequestSleep(sim);
   sim.RunToCompletion();
   Joules e = host.HostEnergy(SimTime::Hours(1));
@@ -157,7 +157,7 @@ TEST(ClusterHostTest, SleepEnergyIncludesTransitionSpike) {
 }
 
 TEST(ClusterHostTest, MemoryServerEnergySeparate) {
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   host.SetMemoryServerPowered(SimTime::Zero(), true);
   host.SetMemoryServerPowered(SimTime::Hours(2), false);
   EXPECT_NEAR(ToWattHours(host.MemoryServerEnergy(SimTime::Hours(5))), 84.4, 0.01);
@@ -165,7 +165,7 @@ TEST(ClusterHostTest, MemoryServerEnergySeparate) {
 
 TEST(ClusterHostTest, LedgerTracksSleepFraction) {
   Simulator sim;
-  ClusterHost host(0, HostKind::kHome, TestConfig(), true);
+  ClusterHost host(0, HostRole::kHome, TestConfig(), true);
   host.RequestSleep(sim);
   sim.RunToCompletion();
   host.AdvanceLedger(SimTime::Hours(24));

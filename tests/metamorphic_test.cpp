@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/check/check.h"
+#include "src/cluster/strategy.h"
 #include "src/exp/exp.h"
 #include "src/fault/fault.h"
 #include "src/trace/trace_generator.h"
@@ -163,6 +164,24 @@ TEST_F(MetamorphicTest, DisabledFaultConfigIsByteIdenticalToPreFaultRun) {
   SimulationResult chaotic = RunOnce(armed);
   EXPECT_GT(chaotic.metrics.faults_injected, 0u);
   EXPECT_NE(testing::DigestResult(chaotic), plain_digest);
+}
+
+TEST_F(MetamorphicTest, DefaultStrategyReproducesTheLegacyManagerDigest) {
+  // Policy-identity pin for the control-plane split (view / strategy /
+  // actuator): the "oasis-greedy" strategy must reproduce the pre-refactor
+  // monolithic ClusterManager byte for byte. The constant below is the
+  // digest of SmallCluster(2016) captured against the last monolithic
+  // build; it must hold at any parallelism.
+  constexpr uint64_t kLegacyDigest = 0xb99c15c8663b6673ull;
+  SimulationConfig config = SmallCluster(2016);
+  config.cluster.strategy_name = kDefaultStrategyName;  // explicit == default
+  exp::ExperimentPlan plan;
+  plan.Add(config);
+  for (int jobs : {1, 4}) {
+    std::vector<SimulationResult> results = exp::RunParallel(plan, jobs);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(testing::DigestResult(results[0]), kLegacyDigest) << "jobs=" << jobs;
+  }
 }
 
 }  // namespace

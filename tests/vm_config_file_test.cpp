@@ -72,6 +72,57 @@ TEST(VmConfigFileTest, RoundTrip) {
   EXPECT_EQ(again->devices, config->devices);
 }
 
+TEST(VmConfigFileTest, ParsesPolicyKey) {
+  StatusOr<VmConfigFile> config = ParseVmConfig(
+      "vmid = 0001\ndisk = a.img\nmemory = 1G\npolicy = OnlyPartial\n");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_TRUE(config->has_policy);
+  EXPECT_EQ(config->policy, ConsolidationPolicy::kOnlyPartial);
+
+  StatusOr<VmConfigFile> none = ParseVmConfig("vmid = 0001\ndisk = a.img\nmemory = 1G\n");
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_policy);
+}
+
+TEST(VmConfigFileTest, BadPolicyErrorListsValidNames) {
+  StatusOr<VmConfigFile> r = ParseVmConfig(
+      "vmid = 0001\ndisk = a.img\nmemory = 1G\npolicy = Frobnicate\n");
+  ASSERT_FALSE(r.ok());
+  const std::string message = r.status().message();
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+  EXPECT_NE(message.find("Frobnicate"), std::string::npos) << message;
+  // The error must name every accepted spelling so a typo is self-correcting.
+  for (ConsolidationPolicy p :
+       {ConsolidationPolicy::kOnlyPartial, ConsolidationPolicy::kDefault,
+        ConsolidationPolicy::kFullToPartial, ConsolidationPolicy::kNewHome}) {
+    EXPECT_NE(message.find(ConsolidationPolicyName(p)), std::string::npos) << message;
+  }
+}
+
+TEST(VmConfigFileTest, PolicyRoundTrip) {
+  for (ConsolidationPolicy p :
+       {ConsolidationPolicy::kOnlyPartial, ConsolidationPolicy::kDefault,
+        ConsolidationPolicy::kFullToPartial, ConsolidationPolicy::kNewHome}) {
+    // Name-level round trip: ConsolidationPolicyName and its parser invert.
+    StatusOr<ConsolidationPolicy> parsed =
+        ParseConsolidationPolicy(ConsolidationPolicyName(p));
+    ASSERT_TRUE(parsed.ok()) << ConsolidationPolicyName(p);
+    EXPECT_EQ(*parsed, p);
+    // File-level round trip through serialize + parse.
+    VmConfigFile config;
+    config.vmid = "0007";
+    config.disk_image = "a.img";
+    config.memory_bytes = kGiB;
+    config.has_policy = true;
+    config.policy = p;
+    StatusOr<VmConfigFile> again = ParseVmConfig(SerializeVmConfig(config));
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_TRUE(again->has_policy);
+    EXPECT_EQ(again->policy, p);
+  }
+  EXPECT_FALSE(ParseConsolidationPolicy("NotAPolicy").ok());
+}
+
 TEST(ParseMemorySizeTest, Suffixes) {
   EXPECT_EQ(*ParseMemorySize("512K"), 512 * kKiB);
   EXPECT_EQ(*ParseMemorySize("4096M"), 4 * kGiB);

@@ -7,12 +7,21 @@
 // steps up to OASIS_JOBS (default: hardware concurrency). For every step it
 // reports wall seconds, runs/sec, simulator events/sec and the speedup over
 // jobs=1, and writes the series to BENCH_sweep.json (override the path with
-// OASIS_BENCH_JSON).
+// OASIS_BENCH_JSON; tools/update_bench.sh refreshes the repo-root copy that
+// tracks the perf trajectory across PRs).
 //
 // Determinism is enforced, not assumed: a checksum over every run's metrics
 // must be identical at every job count; the binary exits non-zero on a
-// mismatch. The checksum line in stdout is also stable across job counts,
-// so CI can diff it between OASIS_JOBS settings.
+// mismatch. Stdout carries only the deterministic lines (header, plan,
+// checksum) and is pinned by the golden suite; all wall-clock timing goes
+// through obs::TimingLine to stderr, so timing output can change freely
+// without touching tests/golden/.
+//
+// With OASIS_PROF=summary (or timeline) every sweep step also collects a
+// wall-clock profile — per-phase breakdown, parallel efficiency, serial
+// merge fraction, per-worker busy/idle — printed per step to stderr and
+// embedded per step as the "prof" block in BENCH_sweep.json, so the jobs=N
+// scaling loss arrives pre-diagnosed.
 
 #include <algorithm>
 #include <chrono>
@@ -29,6 +38,7 @@
 #include "src/exp/exp.h"
 #include "src/check/check.h"
 #include "src/obs/obs.h"
+#include "src/obs/prof.h"
 
 namespace oasis {
 namespace {
@@ -87,6 +97,8 @@ struct SweepPoint {
   double wall_s = 0.0;
   uint64_t events = 0;
   uint64_t checksum = 0;
+  bool has_prof = false;
+  prof::Report prof_report;
 };
 
 }  // namespace
@@ -95,9 +107,12 @@ struct SweepPoint {
 int main() {
   // Honour OASIS_TRACE / OASIS_METRICS / OASIS_LOG_LEVEL for this run.
   // Invariant checking per OASIS_CHECK (off | warn | strict); declared
-  // before ObsScope so traces flush before any strict exit.
+  // before ObsScope so traces flush before any strict exit. Wall-clock
+  // profiling per OASIS_PROF (off | summary | timeline); declared after
+  // ObsScope so session-end collection runs before the trace is exported.
   oasis::check::CheckScope check_scope;
   oasis::obs::ObsScope obs_scope;
+  oasis::prof::ProfSession prof_session;
   using namespace oasis;
   int runs = std::max(1, BenchRuns() - 2);
   PrintExperimentHeader(std::cout, "Perf sweep - parallel experiment runner throughput",
@@ -119,6 +134,7 @@ int main() {
   std::printf("plan: %zu runs (%d reps per datapoint), sweeping jobs up to %d\n\n",
               plan.size(), runs, max_jobs);
 
+  const bool profiling = prof_session.config().Enabled();
   std::vector<SweepPoint> points;
   for (int jobs : jobs_sweep) {
     auto start = std::chrono::steady_clock::now();
@@ -131,10 +147,19 @@ int main() {
       point.events += result.metrics.events_dispatched;
     }
     point.checksum = ResultsChecksum(results);
+    if (profiling) {
+      // One collection window per sweep step: the report's wall/efficiency
+      // numbers describe exactly this RunParallel call.
+      point.has_prof = true;
+      point.prof_report = prof::Profiler::Instance().Collect(/*reset=*/true);
+    }
     points.push_back(point);
-    std::printf("  jobs=%-3d wall=%8.3fs  runs/s=%7.2f  events/s=%11.0f  speedup=%5.2fx\n",
-                jobs, point.wall_s, plan.size() / point.wall_s, point.events / point.wall_s,
-                points.front().wall_s / point.wall_s);
+    obs::TimingLine("jobs=%-3d wall=%8.3fs  runs/s=%7.2f  events/s=%11.0f  speedup=%5.2fx",
+                    jobs, point.wall_s, plan.size() / point.wall_s,
+                    point.events / point.wall_s, points.front().wall_s / point.wall_s);
+    if (point.has_prof) {
+      point.prof_report.WriteTable(std::cerr);
+    }
   }
 
   bool deterministic = true;
@@ -143,7 +168,7 @@ int main() {
       deterministic = false;
     }
   }
-  std::printf("\nresults checksum: %016llx across all job counts (%s)\n",
+  std::printf("results checksum: %016llx across all job counts (%s)\n",
               static_cast<unsigned long long>(points.front().checksum),
               deterministic ? "identical" : "MISMATCH - determinism broken");
 
@@ -161,6 +186,8 @@ int main() {
                   static_cast<unsigned long long>(points.front().checksum));
     json << "  \"results_checksum\": \"" << checksum_hex << "\",\n";
     json << "  \"deterministic\": " << (deterministic ? "true" : "false") << ",\n";
+    json << "  \"prof_mode\": \"" << prof::ProfModeName(prof_session.config().mode)
+         << "\",\n";
     json << "  \"sweep\": [\n";
     for (size_t i = 0; i < points.size(); ++i) {
       const SweepPoint& point = points[i];
@@ -168,11 +195,18 @@ int main() {
            << ", \"runs_per_sec\": " << plan.size() / point.wall_s
            << ", \"events_dispatched\": " << point.events
            << ", \"events_per_sec\": " << point.events / point.wall_s
-           << ", \"speedup_vs_jobs1\": " << points.front().wall_s / point.wall_s << "}"
-           << (i + 1 < points.size() ? "," : "") << "\n";
+           << ", \"speedup_vs_jobs1\": " << points.front().wall_s / point.wall_s;
+      if (point.has_prof) {
+        json << ",\n     \"prof\":\n";
+        point.prof_report.WriteJson(json, 5);
+        json << "\n    }";
+      } else {
+        json << "}";
+      }
+      json << (i + 1 < points.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
-    std::printf("wrote %s\n", json_path);
+    obs::TimingLine("wrote %s", json_path);
   } else {
     std::fprintf(stderr, "cannot write %s\n", json_path);
   }

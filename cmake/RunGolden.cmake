@@ -6,7 +6,10 @@
 # Runs BINARY with a pinned environment — OASIS_BENCH_RUNS=2 and
 # OASIS_JOBS=2 fixed, every other OASIS_* knob that could change stdout
 # scrubbed (OASIS_CHECK deliberately passes through, so CI runs the golden
-# suite with the invariant checker in strict mode) — captures stdout, and
+# suite with the invariant checker in strict mode; OASIS_PROF passes through
+# too — the profiler's contract is that stdout is byte-identical in every
+# mode, and running goldens under OASIS_PROF=summary proves it) — captures
+# stdout, and
 # compares it byte-for-byte against GOLDEN. On mismatch the test fails with
 # both SHA-256 digests and keeps the observed output next to the scratch dir
 # for upload/diffing. With UPDATE=1 the observed output replaces the golden

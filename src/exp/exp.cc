@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/exp/thread_pool.h"
+#include "src/obs/prof.h"
 #include "src/obs/run_context.h"
 
 namespace oasis {
@@ -61,28 +62,45 @@ std::vector<SimulationResult> RunParallel(const ExperimentPlan& plan, int jobs) 
   if (jobs <= 1 || runs.size() <= 1) {
     // The legacy serial path: inline on this thread, straight into whatever
     // collectors are in effect (normally the process globals).
+    prof::ProfScope prof_wall(prof::Phase::kRunParallel);
+    if (prof::Profiler::Enabled()) {
+      prof::Profiler::Instance().NoteJobs(1);
+    }
     for (const PlannedRun& run : runs) {
+      prof::ProfScope prof_run(prof::Phase::kRunSim);
       results[run.index] = ClusterSimulation(run.config).Run();
     }
     return results;
   }
 
+  prof::ProfScope prof_wall(prof::Phase::kRunParallel);
+  int workers = std::min<int>(jobs, static_cast<int>(runs.size()));
+  if (prof::Profiler::Enabled()) {
+    prof::Profiler::Instance().NoteJobs(workers);
+  }
+
   // One run-local context per run, created up-front on this thread so the
   // enable snapshot is taken once, before any worker races a concurrent
-  // SetEnabled.
+  // SetEnabled. This loop is serial overhead the profiler charges to
+  // exp.run_setup (with one obs.run_context_ctor sample per context).
   std::vector<std::unique_ptr<obs::RunContext>> contexts(runs.size());
-  for (size_t i = 0; i < runs.size(); ++i) {
-    contexts[i] = std::make_unique<obs::RunContext>();
-    contexts[i]->MirrorGlobalEnables();
+  {
+    prof::ProfScope prof_setup(prof::Phase::kRunSetup);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      prof::ProfScope prof_ctor(prof::Phase::kRunContextCtor);
+      contexts[i] = std::make_unique<obs::RunContext>();
+      contexts[i]->MirrorGlobalEnables();
+    }
   }
 
   {
-    ThreadPool pool(std::min<int>(jobs, static_cast<int>(runs.size())));
+    ThreadPool pool(workers);
     for (size_t i = 0; i < runs.size(); ++i) {
       pool.Submit([&runs, &results, &contexts, i]() {
         // The Scope reroutes instrumentation reached through thread-local
         // lookup (log sim-time, IfEnabled sites outside the manager); the
         // ctor argument covers the manager's own resolution.
+        prof::ProfScope prof_run(prof::Phase::kRunSim);
         obs::RunContext::Scope scope(contexts[i].get());
         results[i] = ClusterSimulation(runs[i].config, contexts[i].get()).Run();
       });
@@ -92,9 +110,14 @@ std::vector<SimulationResult> RunParallel(const ExperimentPlan& plan, int jobs) 
 
   // Serial plan-order merge: the global tracer sees run 0's events, then
   // run 1's, ... exactly as a serial execution would have recorded them, so
-  // OASIS_TRACE / OASIS_METRICS exports are byte-identical.
-  for (size_t i = 0; i < runs.size(); ++i) {
-    contexts[i]->MergeIntoGlobals();
+  // OASIS_TRACE / OASIS_METRICS exports are byte-identical. This is the
+  // serial tail Amdahl charges against scaling; the profiler reports its
+  // share of wall time as merge_serial_fraction.
+  {
+    prof::ProfScope prof_merge(prof::Phase::kRunMerge);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      contexts[i]->MergeIntoGlobals();
+    }
   }
   return results;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/prof.h"
+
 namespace oasis {
 namespace exp {
 
@@ -31,11 +33,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  Task task;
+  task.fn = std::move(fn);
+  if (prof::Profiler::Enabled()) {
+    task.enqueue_ns = prof::Profiler::NowNs();
+    prof::Profiler::Instance().AddCount(prof::Count::kPoolWakes);
+  }
   pending_.fetch_add(1, std::memory_order_relaxed);
   size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
     std::lock_guard<std::mutex> lock(queues_[q]->mu);
-    queues_[q]->tasks.push_back(std::move(fn));
+    queues_[q]->tasks.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
   // Lock ordering note: taking wake_mu_ here (not just notifying) closes the
@@ -47,7 +55,8 @@ void ThreadPool::Submit(std::function<void()> fn) {
 }
 
 bool ThreadPool::RunOne(size_t self) {
-  std::function<void()> task;
+  Task task;
+  bool stolen = false;
   {
     // Own deque first, newest task (LIFO keeps the just-submitted work warm).
     std::lock_guard<std::mutex> lock(queues_[self]->mu);
@@ -56,23 +65,36 @@ bool ThreadPool::RunOne(size_t self) {
       queues_[self]->tasks.pop_back();
     }
   }
-  if (!task) {
+  if (!task.fn) {
     // Steal the oldest task from a sibling, scanning from the next worker so
     // victims rotate instead of worker 0 being picked clean.
-    for (size_t step = 1; step < queues_.size() && !task; ++step) {
+    for (size_t step = 1; step < queues_.size() && !task.fn; ++step) {
       size_t victim = (self + step) % queues_.size();
       std::lock_guard<std::mutex> lock(queues_[victim]->mu);
       if (!queues_[victim]->tasks.empty()) {
         task = std::move(queues_[victim]->tasks.front());
         queues_[victim]->tasks.pop_front();
+        stolen = true;
       }
     }
   }
-  if (!task) {
+  if (!task.fn) {
     return false;
   }
   queued_.fetch_sub(1, std::memory_order_acquire);
-  task();
+  if (prof::Profiler::Enabled()) {
+    prof::Profiler& profiler = prof::Profiler::Instance();
+    uint64_t start = prof::Profiler::NowNs();
+    if (task.enqueue_ns != 0) {
+      profiler.RecordSpan(prof::Phase::kPoolTaskWait, task.enqueue_ns, start);
+    }
+    profiler.AddCount(stolen ? prof::Count::kPoolSteals : prof::Count::kPoolOwnPops);
+    profiler.AddCount(prof::Count::kTasksRun);
+    task.fn();
+    profiler.RecordSpan(prof::Phase::kPoolTaskRun, start, prof::Profiler::NowNs());
+  } else {
+    task.fn();
+  }
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(wake_mu_);
     idle_cv_.notify_all();
@@ -81,15 +103,30 @@ bool ThreadPool::RunOne(size_t self) {
 }
 
 void ThreadPool::WorkerLoop(size_t self) {
+  if (prof::Profiler::Enabled()) {
+    prof::Profiler::Instance().LabelCurrentThread("worker", static_cast<int>(self));
+  }
   for (;;) {
     if (RunOne(self)) {
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this]() {
-      return stop_ || queued_.load(std::memory_order_acquire) > 0;
-    });
-    if (stop_ && queued_.load(std::memory_order_acquire) == 0) {
+    // Idle gap: nothing runnable anywhere. Spans the park and the wake, so
+    // per-worker idle shares in the profile add up against wall time.
+    bool profiling = prof::Profiler::Enabled();
+    uint64_t idle_start = profiling ? prof::Profiler::NowNs() : 0;
+    bool stopping = false;
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [this]() {
+        return stop_ || queued_.load(std::memory_order_acquire) > 0;
+      });
+      stopping = stop_ && queued_.load(std::memory_order_acquire) == 0;
+    }
+    if (profiling) {
+      prof::Profiler::Instance().RecordSpan(prof::Phase::kPoolIdle, idle_start,
+                                            prof::Profiler::NowNs());
+    }
+    if (stopping) {
       return;
     }
   }

@@ -43,9 +43,17 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
  private:
+  // enqueue_ns is stamped only while the wall-clock profiler is on
+  // (OASIS_PROF); 0 means "not stamped", so a task submitted before the
+  // profiler enabled never reports a bogus wait.
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   struct WorkerQueue {
     std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Task> tasks;
   };
 
   // Pops one task (own deque back, else steal another's front) and runs it.

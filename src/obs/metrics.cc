@@ -172,18 +172,24 @@ Status MetricsRegistry::WriteCsvFile(const std::string& path) const {
 }
 
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  merge_dropped_ += other.merge_dropped_;
   for (const auto& [name, slot] : other.instruments_) {
     if (slot.counter) {
       if (Counter* c = counter(name)) {
         c->Increment(slot.counter->value());
+      } else {
+        ++merge_dropped_;
       }
     } else if (slot.gauge) {
       if (Gauge* g = gauge(name)) {
         g->Set(slot.gauge->value());
+      } else {
+        ++merge_dropped_;
       }
     } else if (slot.histogram) {
       Histogram* h = histogram(name);
       if (h == nullptr) {
+        ++merge_dropped_;
         continue;
       }
       const Histogram& o = *slot.histogram;

@@ -132,9 +132,16 @@ class MetricsRegistry {
 
   // Folds `other` into this registry: counters add, gauges take the other's
   // value, histograms merge bucket-wise. Same-name instruments of different
-  // kinds are skipped. The experiment runner calls this serially in plan
-  // order, so the merged registry matches a serial execution exactly.
+  // kinds are skipped — and counted in merge_dropped(), so a silently
+  // mismatched run registry is visible (prof::Report surfaces it). The
+  // experiment runner calls this serially in plan order, so the merged
+  // registry matches a serial execution exactly.
   void MergeFrom(const MetricsRegistry& other);
+
+  // Instruments MergeFrom skipped because the destination already held the
+  // same name with a different kind (includes drops the sources had already
+  // counted).
+  uint64_t merge_dropped() const { return merge_dropped_; }
 
   // Per-registry collection switch (a single relaxed atomic).
   bool enabled() const { return enabled_inst_.load(std::memory_order_relaxed); }
@@ -161,6 +168,7 @@ class MetricsRegistry {
 
   std::atomic<bool> enabled_inst_{false};
   std::map<std::string, Instrument> instruments_;  // sorted for stable export
+  uint64_t merge_dropped_ = 0;
 };
 
 }  // namespace obs

@@ -1,5 +1,6 @@
 #include "src/obs/obs.h"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -46,6 +47,18 @@ ObsConfig ObsConfig::FromEnv() {
     }
   }
   return config;
+}
+
+void TimingLine(const char* format, ...) {
+  // One buffered write per line so parallel runs do not interleave
+  // mid-line (mirrors the structured-log discipline in src/common/log).
+  char line[512];
+  int n = std::snprintf(line, sizeof(line), "[obs] ");
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(line + n, sizeof(line) - static_cast<size_t>(n), format, args);
+  va_end(args);
+  std::fprintf(stderr, "%s\n", line);
 }
 
 bool ApplySeedOverride(uint64_t* seed) {

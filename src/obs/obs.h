@@ -50,6 +50,17 @@ struct ObsConfig {
 // the override so runs stay attributable). Returns true when it did.
 bool ApplySeedOverride(uint64_t* seed);
 
+// The wall-clock/timing output channel: one "[obs] "-tagged line on stderr
+// (printf formatting; the newline is appended). Golden-file tests pin
+// stdout byte-for-byte, so anything nondeterministic across machines —
+// wall seconds, throughput, file paths — must go through here, never
+// stdout. That keeps timing output free to grow without touching
+// tests/golden/.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void TimingLine(const char* format, ...);
+
 // RAII: enables the requested global collectors on construction, exports and
 // disables them on destruction (or on an explicit Flush()).
 class ObsScope {

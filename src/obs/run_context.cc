@@ -1,5 +1,7 @@
 #include "src/obs/run_context.h"
 
+#include "src/obs/prof.h"
+
 namespace oasis {
 namespace obs {
 namespace {
@@ -8,7 +10,13 @@ thread_local RunContext* t_current = nullptr;
 
 }  // namespace
 
-RunContext::RunContext(size_t trace_capacity) : tracer_(trace_capacity) {}
+RunContext::RunContext(size_t trace_capacity) : tracer_(trace_capacity) {
+  // Construction cost shows up in the parallel runner's setup phase; the
+  // profiler attributes it (ROADMAP suspects it in the jobs=4 loss).
+  if (prof::Profiler::Enabled()) {
+    prof::Profiler::Instance().AddCount(prof::Count::kRunContexts);
+  }
+}
 
 void RunContext::MirrorGlobalEnables() {
   tracer_.set_enabled(Tracer::Global().enabled());

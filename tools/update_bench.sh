@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Refreshes the repo-root BENCH_sweep.json — the committed perf snapshot that
+# tracks the parallel runner's throughput and scaling diagnosis across PRs:
+#
+#   tools/update_bench.sh [build_dir]      # default build dir: ./build
+#
+# Runs bench/perf_sweep with OASIS_PROF=summary so every sweep point carries
+# its wall-clock profile (parallel efficiency, merge-serial fraction, named
+# bottleneck). Absolute numbers are machine-dependent — review the diff for
+# the *shape* (efficiency, fractions, bottleneck), not the raw seconds.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+
+if [ ! -x "$build/bench/perf_sweep" ]; then
+  echo "update_bench: $build/bench/perf_sweep not found (build the repo first)" >&2
+  exit 1
+fi
+
+# Sweep to jobs=4 by default (export OASIS_JOBS to override) so the
+# committed snapshot always carries the scaling story, even on small boxes
+# where hardware_concurrency would stop the sweep at jobs=1.
+OASIS_JOBS="${OASIS_JOBS:-4}" \
+OASIS_PROF=summary \
+OASIS_BENCH_JSON="$repo/BENCH_sweep.json" \
+  "$build/bench/perf_sweep"
+
+echo "update_bench: wrote $repo/BENCH_sweep.json - review 'git diff BENCH_sweep.json'"

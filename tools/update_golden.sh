@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Regenerates the golden files pinned by the `ctest -L golden` suite
-# (quickstart, fig07, fig08, table3) from the binaries in a build tree:
+# (quickstart, fig07, fig08, table3, perf_sweep) from the binaries in a
+# build tree:
 #
 #   tools/update_golden.sh [build_dir]     # default build dir: ./build
 #
@@ -34,5 +35,6 @@ update quickstart examples/quickstart
 update fig07 bench/fig07_day_timeline
 update fig08 bench/fig08_energy_savings
 update table3 bench/table3_memory_server
+update perf_sweep bench/perf_sweep
 
 echo "update_golden: done - review 'git diff tests/golden/' before committing"

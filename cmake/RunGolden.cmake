@@ -25,12 +25,22 @@ get_filename_component(name "${GOLDEN}" NAME_WE)
 file(MAKE_DIRECTORY "${WORK}")
 set(observed "${WORK}/${name}.out")
 
+# EXTRA_ENV: optional semicolon-separated VAR=value pairs appended after the
+# pinned environment, for binaries whose golden needs a per-test knob (e.g.
+# datacenter_day pins OASIS_DC_RACKS=8 — the CI smoke grid, not the full
+# 256-rack day). The knob is scrubbed first so only the pin applies.
+if(NOT DEFINED EXTRA_ENV)
+  set(EXTRA_ENV "")
+endif()
+
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E env
           --unset=OASIS_SEED --unset=OASIS_TRACE --unset=OASIS_METRICS
           --unset=OASIS_TRACE_CAPACITY --unset=OASIS_LOG_LEVEL
           --unset=OASIS_CSV_DIR --unset=OASIS_FUZZ_TRIALS
+          --unset=OASIS_DC_RACKS
           OASIS_BENCH_RUNS=2 OASIS_JOBS=2 "OASIS_BENCH_JSON=${WORK}/${name}.json"
+          ${EXTRA_ENV}
           "${BINARY}"
   WORKING_DIRECTORY "${WORK}"
   OUTPUT_FILE "${observed}"

@@ -1,0 +1,128 @@
+#include "src/dc/ledger.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace oasis {
+namespace dc {
+namespace {
+
+// FNV-1a, folding 64-bit values byte-wise; doubles hash by bit pattern so
+// the digest pins exact floating-point results, not approximations.
+struct Fnv {
+  uint64_t h = 1469598103934665603ull;
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  void I64(long long v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+};
+
+}  // namespace
+
+DatacenterLedger DatacenterLedger::Build(const DatacenterRun& run,
+                                         const CoordinatorStats& coordinator) {
+  DatacenterLedger ledger;
+  ledger.coordinator = coordinator;
+
+  ledger.racks.reserve(run.racks.size());
+  for (const RackResult& rack : run.racks) {
+    RackLedgerRow row;
+    row.rack = rack.rack;
+    row.pod = rack.pod;
+    row.users = run.config.rack.users();
+    row.total_energy = rack.metrics.TotalEnergy();
+    row.baseline_energy = rack.metrics.baseline_energy;
+    row.savings = rack.metrics.EnergySavings();
+    row.full_migrations = rack.metrics.full_migrations;
+    row.partial_migrations = rack.metrics.partial_migrations;
+    row.host_sleeps = rack.metrics.host_sleeps;
+    row.host_wakes = rack.metrics.host_wakes;
+    row.faults_injected = rack.metrics.faults_injected;
+    row.events_dispatched = rack.metrics.events_dispatched;
+    ledger.racks.push_back(row);
+  }
+  // Keyed and folded in ascending rack order: any permutation of run.racks
+  // produces the same ledger bit for bit.
+  std::sort(ledger.racks.begin(), ledger.racks.end(),
+            [](const RackLedgerRow& a, const RackLedgerRow& b) { return a.rack < b.rack; });
+
+  for (const RackLedgerRow& row : ledger.racks) {
+    if (ledger.pods.empty() || ledger.pods.back().pod != row.pod) {
+      PodLedgerRow pod;
+      pod.pod = row.pod;
+      ledger.pods.push_back(pod);
+    }
+    PodLedgerRow& pod = ledger.pods.back();
+    pod.racks += 1;
+    pod.total_energy += row.total_energy;
+    pod.baseline_energy += row.baseline_energy;
+
+    ledger.total_users += row.users;
+    ledger.total_energy += row.total_energy;
+    ledger.baseline_energy += row.baseline_energy;
+    ledger.total_migrations += row.full_migrations + row.partial_migrations;
+    ledger.total_faults += row.faults_injected;
+    ledger.total_events += row.events_dispatched;
+  }
+  for (PodLedgerRow& pod : ledger.pods) {
+    pod.savings =
+        pod.baseline_energy > 0.0 ? 1.0 - pod.total_energy / pod.baseline_energy : 0.0;
+  }
+  return ledger;
+}
+
+uint64_t DatacenterLedger::Digest() const {
+  Fnv fnv;
+  fnv.U64(racks.size());
+  for (const RackLedgerRow& row : racks) {
+    fnv.I64(row.rack);
+    fnv.I64(row.pod);
+    fnv.I64(row.users);
+    fnv.F64(row.total_energy);
+    fnv.F64(row.baseline_energy);
+    fnv.F64(row.savings);
+    fnv.U64(row.full_migrations);
+    fnv.U64(row.partial_migrations);
+    fnv.U64(row.host_sleeps);
+    fnv.U64(row.host_wakes);
+    fnv.U64(row.faults_injected);
+    fnv.U64(row.events_dispatched);
+  }
+  fnv.U64(pods.size());
+  for (const PodLedgerRow& pod : pods) {
+    fnv.I64(pod.pod);
+    fnv.I64(pod.racks);
+    fnv.F64(pod.total_energy);
+    fnv.F64(pod.baseline_energy);
+    fnv.F64(pod.savings);
+  }
+  fnv.I64(total_users);
+  fnv.F64(total_energy);
+  fnv.F64(baseline_energy);
+  fnv.U64(total_migrations);
+  fnv.U64(total_faults);
+  fnv.U64(total_events);
+  fnv.U64(coordinator.drains_started);
+  fnv.U64(coordinator.drain_returns);
+  fnv.U64(coordinator.vms_drained);
+  fnv.U64(coordinator.drain_intervals);
+  fnv.U64(coordinator.cross_rack_traffic_bytes);
+  fnv.U64(coordinator.cap_windows);
+  fnv.U64(coordinator.cap_blocked_sponsorships);
+  fnv.U64(coordinator.fault_excluded_sponsors);
+  fnv.F64(coordinator.energy_saved);
+  fnv.F64(coordinator.migration_energy);
+  return fnv.h;
+}
+
+}  // namespace dc
+}  // namespace oasis

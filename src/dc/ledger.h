@@ -1,0 +1,89 @@
+// DatacenterLedger: the merged per-rack accounting of a datacenter day.
+//
+// Build() folds a DatacenterRun (plus the coordinator's inter-rack action
+// stats) into per-rack rows sorted by rack index, per-pod subtotals, and
+// datacenter-wide totals. Because rows are keyed and sorted by rack index
+// and every fold walks that order, the ledger — and its Digest() — is a
+// pure function of the rack results: independent of OASIS_JOBS and of the
+// order rack shards happened to execute or arrive in. The metamorphic suite
+// pins exactly that (rack-permutation invariance, jobs 1-vs-N identity).
+
+#ifndef OASIS_SRC_DC_LEDGER_H_
+#define OASIS_SRC_DC_LEDGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/dc/coordinator.h"
+#include "src/dc/runner.h"
+
+namespace oasis {
+namespace dc {
+
+// One rack-day, reduced to the numbers the datacenter report needs.
+struct RackLedgerRow {
+  int rack = 0;
+  int pod = 0;
+  long long users = 0;
+  Joules total_energy = 0.0;
+  Joules baseline_energy = 0.0;
+  double savings = 0.0;  // this rack's EnergySavings()
+  uint64_t full_migrations = 0;
+  uint64_t partial_migrations = 0;
+  uint64_t host_sleeps = 0;
+  uint64_t host_wakes = 0;
+  uint64_t faults_injected = 0;
+  uint64_t events_dispatched = 0;
+};
+
+struct PodLedgerRow {
+  int pod = 0;
+  int racks = 0;
+  Joules total_energy = 0.0;
+  Joules baseline_energy = 0.0;
+  double savings = 0.0;
+};
+
+struct DatacenterLedger {
+  // Per-rack rows sorted by rack index; per-pod subtotals sorted by pod.
+  std::vector<RackLedgerRow> racks;
+  std::vector<PodLedgerRow> pods;
+
+  long long total_users = 0;
+  Joules total_energy = 0.0;     // rack-local consumption, before coordinator
+  Joules baseline_energy = 0.0;  // all home hosts powered all day
+  uint64_t total_migrations = 0;  // full + partial, summed over racks
+  uint64_t total_faults = 0;
+  uint64_t total_events = 0;
+
+  // The drain tier's contribution on top of the rack-local plans.
+  CoordinatorStats coordinator;
+
+  // Rack-local savings vs the unconsolidated baseline.
+  double LocalSavings() const {
+    return baseline_energy > 0.0 ? 1.0 - total_energy / baseline_energy : 0.0;
+  }
+  // Savings once the coordinator's net effect (S3 credits minus cross-rack
+  // wire energy) is applied.
+  double CoordinatedSavings() const {
+    return baseline_energy > 0.0
+               ? 1.0 - (total_energy - coordinator.NetSaved()) / baseline_energy
+               : 0.0;
+  }
+
+  // Folds `run` + `coordinator` into the ledger. Rows are built keyed by
+  // rack index and sorted, so any permutation of run.racks yields the same
+  // ledger bit for bit.
+  static DatacenterLedger Build(const DatacenterRun& run,
+                                const CoordinatorStats& coordinator);
+
+  // FNV-1a over every row and total, in sorted order, hashing doubles by
+  // bit pattern — the merged-digest pin the acceptance criteria name.
+  uint64_t Digest() const;
+};
+
+}  // namespace dc
+}  // namespace oasis
+
+#endif  // OASIS_SRC_DC_LEDGER_H_

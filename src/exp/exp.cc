@@ -59,7 +59,13 @@ int JobsFromEnv() {
 std::vector<SimulationResult> RunParallel(const ExperimentPlan& plan, int jobs) {
   const std::vector<PlannedRun>& runs = plan.runs();
   std::vector<SimulationResult> results(runs.size());
-  if (jobs <= 1 || runs.size() <= 1) {
+  // Workers beyond the hardware add scheduling churn without parallelism
+  // (the profiler attributed the jobs=4 loss on small hosts to exactly
+  // that); beyond the run count they would only idle. A one-worker pool is
+  // pure overhead over the inline loop — and the plan-order merge contract
+  // makes the two paths byte-identical — so it takes the serial path too.
+  const int workers = std::min({jobs, HardwareJobs(), static_cast<int>(runs.size())});
+  if (workers <= 1 || runs.size() <= 1) {
     // The legacy serial path: inline on this thread, straight into whatever
     // collectors are in effect (normally the process globals).
     prof::ProfScope prof_wall(prof::Phase::kRunParallel);
@@ -74,7 +80,6 @@ std::vector<SimulationResult> RunParallel(const ExperimentPlan& plan, int jobs) 
   }
 
   prof::ProfScope prof_wall(prof::Phase::kRunParallel);
-  int workers = std::min<int>(jobs, static_cast<int>(runs.size()));
   if (prof::Profiler::Enabled()) {
     prof::Profiler::Instance().NoteJobs(workers);
   }
@@ -83,13 +88,21 @@ std::vector<SimulationResult> RunParallel(const ExperimentPlan& plan, int jobs) 
   // enable snapshot is taken once, before any worker races a concurrent
   // SetEnabled. This loop is serial overhead the profiler charges to
   // exp.run_setup (with one obs.run_context_ctor sample per context).
+  // With both global collectors dark — the common bench configuration —
+  // the contexts would collect nothing and merge nothing, so none are
+  // built: every IfEnabled site stays null and the runs execute
+  // context-free, exactly like the serial path with observability off.
+  const bool collect = obs::Tracer::Global().enabled() ||
+                       obs::MetricsRegistry::Global().enabled();
   std::vector<std::unique_ptr<obs::RunContext>> contexts(runs.size());
   {
     prof::ProfScope prof_setup(prof::Phase::kRunSetup);
-    for (size_t i = 0; i < runs.size(); ++i) {
-      prof::ProfScope prof_ctor(prof::Phase::kRunContextCtor);
-      contexts[i] = std::make_unique<obs::RunContext>();
-      contexts[i]->MirrorGlobalEnables();
+    if (collect) {
+      for (size_t i = 0; i < runs.size(); ++i) {
+        prof::ProfScope prof_ctor(prof::Phase::kRunContextCtor);
+        contexts[i] = std::make_unique<obs::RunContext>();
+        contexts[i]->MirrorGlobalEnables();
+      }
     }
   }
 
@@ -116,7 +129,9 @@ std::vector<SimulationResult> RunParallel(const ExperimentPlan& plan, int jobs) 
   {
     prof::ProfScope prof_merge(prof::Phase::kRunMerge);
     for (size_t i = 0; i < runs.size(); ++i) {
-      contexts[i]->MergeIntoGlobals();
+      if (contexts[i] != nullptr) {
+        contexts[i]->MergeIntoGlobals();
+      }
     }
   }
   return results;

@@ -172,8 +172,14 @@ Status MetricsRegistry::WriteCsvFile(const std::string& path) const {
 }
 
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  MergeFrom(other, std::string());
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other,
+                                const std::string& prefix) {
   merge_dropped_ += other.merge_dropped_;
-  for (const auto& [name, slot] : other.instruments_) {
+  for (const auto& [source_name, slot] : other.instruments_) {
+    const std::string name = prefix.empty() ? source_name : prefix + source_name;
     if (slot.counter) {
       if (Counter* c = counter(name)) {
         c->Increment(slot.counter->value());

@@ -138,6 +138,12 @@ class MetricsRegistry {
   // registry matches a serial execution exactly.
   void MergeFrom(const MetricsRegistry& other);
 
+  // As above, with every incoming instrument renamed to `prefix` + name —
+  // per-shard namespacing for hierarchical runs (the datacenter runner
+  // merges rack 3's registry under "dc.rack3."). An empty prefix is the
+  // plain merge.
+  void MergeFrom(const MetricsRegistry& other, const std::string& prefix);
+
   // Instruments MergeFrom skipped because the destination already held the
   // same name with a different kind (includes drops the sources had already
   // counted).

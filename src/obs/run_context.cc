@@ -23,12 +23,14 @@ void RunContext::MirrorGlobalEnables() {
   metrics_.set_enabled(MetricsRegistry::Global().enabled());
 }
 
-void RunContext::MergeIntoGlobals() {
+void RunContext::MergeIntoGlobals() { MergeIntoGlobals(std::string()); }
+
+void RunContext::MergeIntoGlobals(const std::string& metrics_prefix) {
   if (Tracer::Global().enabled()) {
     Tracer::Global().MergeFrom(tracer_);
   }
   if (MetricsRegistry::Global().enabled()) {
-    MetricsRegistry::Global().MergeFrom(metrics_);
+    MetricsRegistry::Global().MergeFrom(metrics_, metrics_prefix);
   }
 }
 

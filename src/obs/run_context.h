@@ -50,6 +50,12 @@ class RunContext {
   // serially in plan order by the experiment runner.
   void MergeIntoGlobals();
 
+  // As above, with this run's metrics merged under `metrics_prefix` (e.g.
+  // "dc.rack3.") — per-shard namespacing for hierarchical runs. Trace
+  // events append unprefixed either way: they already carry sim-time and
+  // per-run ordering.
+  void MergeIntoGlobals(const std::string& metrics_prefix);
+
   // The context installed on this thread, nullptr when instrumentation goes
   // to the globals.
   static RunContext* Current();

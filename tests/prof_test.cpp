@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <vector>
@@ -188,9 +189,14 @@ TEST(ProfIsolationTest, ProfilingModesLeaveDigestsIdentical) {
 // --- per-thread buffers under a real parallel run -----------------------------
 
 TEST(ProfParallelTest, CollectAfterJobs4IsSelfConsistent) {
-  // Eight runs on four pool workers: every worker records into its own
+  // Eight runs across the pool workers: every worker records into its own
   // buffer concurrently; Collect after Wait must see all of it exactly once.
+  // The runner clamps workers to the hardware, so the expected pool size is
+  // min(4, cores); global metrics are enabled so run contexts are built
+  // (with collectors dark the runner skips them entirely).
   ProfilerGuard profiler_guard;
+  const int expected_workers = std::min(4, exp::HardwareJobs());
+  obs::MetricsRegistry::SetEnabled(true);
   Profiler::Instance().SetMode(ProfMode::kSummary);
   Profiler::Instance().LabelCurrentThread("main");
   exp::ExperimentPlan plan;
@@ -198,17 +204,13 @@ TEST(ProfParallelTest, CollectAfterJobs4IsSelfConsistent) {
     plan.Add(SmallCluster(seed));
   }
   std::vector<SimulationResult> results = exp::RunParallel(plan, 4);
+  obs::MetricsRegistry::SetEnabled(false);
+  obs::MetricsRegistry::Global().ResetValues();
   Report report = Profiler::Instance().Collect(/*reset=*/true);
 
-  EXPECT_EQ(report.jobs, 4);
+  EXPECT_EQ(report.jobs, expected_workers);
   EXPECT_TRUE(report.HasSamples());
   EXPECT_GT(report.wall_s, 0.0);
-  EXPECT_EQ(report.counts[static_cast<int>(Count::kTasksRun)], 8u);
-  EXPECT_EQ(report.counts[static_cast<int>(Count::kRunContexts)], 8u);
-  EXPECT_EQ(report.counts[static_cast<int>(Count::kPoolOwnPops)] +
-                report.counts[static_cast<int>(Count::kPoolSteals)],
-            8u);
-  // Every phase the parallel path wraps must have fired.
   bool saw_sim = false, saw_merge = false, saw_setup = false, saw_task_run = false;
   uint64_t sim_count = 0;
   for (const PhaseStats& p : report.phases) {
@@ -221,10 +223,25 @@ TEST(ProfParallelTest, CollectAfterJobs4IsSelfConsistent) {
     saw_setup = saw_setup || name == "exp.run_setup";
     saw_task_run = saw_task_run || name == "pool.task_run";
   }
-  EXPECT_TRUE(saw_sim && saw_merge && saw_setup && saw_task_run);
+  EXPECT_TRUE(saw_sim);
   EXPECT_EQ(sim_count, 8u);
-  // Four workers recorded; rows merge by label, so exactly worker0..3.
-  EXPECT_EQ(report.workers.size(), 4u);
+  if (expected_workers > 1) {
+    // The pool path: one context per run, every task popped or stolen
+    // exactly once, and every phase the parallel path wraps fired.
+    EXPECT_EQ(report.counts[static_cast<int>(Count::kTasksRun)], 8u);
+    EXPECT_EQ(report.counts[static_cast<int>(Count::kRunContexts)], 8u);
+    EXPECT_EQ(report.counts[static_cast<int>(Count::kPoolOwnPops)] +
+                  report.counts[static_cast<int>(Count::kPoolSteals)],
+              8u);
+    EXPECT_TRUE(saw_merge && saw_setup && saw_task_run);
+    // Every pool worker recorded; rows merge by label, exactly worker0..N-1.
+    EXPECT_EQ(report.workers.size(), static_cast<size_t>(expected_workers));
+  } else {
+    // A single effective worker takes the inline serial path: no pool, no
+    // contexts, no merge — the legacy loop with nothing layered on top.
+    EXPECT_EQ(report.counts[static_cast<int>(Count::kRunContexts)], 0u);
+    EXPECT_FALSE(saw_task_run);
+  }
   // busy <= wall per worker, so efficiency is a fraction (plus clock jitter).
   EXPECT_GT(report.parallel_efficiency, 0.0);
   EXPECT_LE(report.parallel_efficiency, 1.1);

@@ -18,12 +18,18 @@ if [ ! -x "$build/bench/perf_sweep" ]; then
   exit 1
 fi
 
+# Stamp the snapshot with the revision it measured; hardware_cores is
+# stamped by the binary itself. Outside a git checkout the stamp degrades
+# to "unknown" rather than failing the refresh.
+git_sha=$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo unknown)
+
 # Sweep to jobs=4 by default (export OASIS_JOBS to override) so the
 # committed snapshot always carries the scaling story, even on small boxes
 # where hardware_concurrency would stop the sweep at jobs=1.
 OASIS_JOBS="${OASIS_JOBS:-4}" \
 OASIS_PROF=summary \
 OASIS_BENCH_JSON="$repo/BENCH_sweep.json" \
+OASIS_BENCH_GIT_SHA="$git_sha" \
   "$build/bench/perf_sweep"
 
 echo "update_bench: wrote $repo/BENCH_sweep.json - review 'git diff BENCH_sweep.json'"

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Regenerates the golden files pinned by the `ctest -L golden` suite
-# (quickstart, fig07, fig08, table3, perf_sweep) from the binaries in a
-# build tree:
+# (quickstart, fig07, fig08, table3, perf_sweep, datacenter_day) from the
+# binaries in a build tree:
 #
 #   tools/update_golden.sh [build_dir]     # default build dir: ./build
 #
@@ -24,10 +24,12 @@ build=$(CDPATH= cd -- "$build" && pwd)
 update() {
   name=$1
   binary=$2
+  extra_env=${3:-}
   cmake -DBINARY="$build/$binary" \
         -DGOLDEN="$repo/tests/golden/$name.txt" \
         -DWORK="$build/golden_work" \
         -DUPDATE=1 \
+        -DEXTRA_ENV="$extra_env" \
         -P "$repo/cmake/RunGolden.cmake"
 }
 
@@ -36,5 +38,6 @@ update fig07 bench/fig07_day_timeline
 update fig08 bench/fig08_energy_savings
 update table3 bench/table3_memory_server
 update perf_sweep bench/perf_sweep
+update datacenter_day bench/datacenter_day OASIS_DC_RACKS=8
 
 echo "update_golden: done - review 'git diff tests/golden/' before committing"

@@ -47,6 +47,27 @@ Actuator::Actuator(const ClusterConfig& config, Simulator& sim, Rng& rng,
       state_(state),
       metrics_(metrics) {}
 
+void Actuator::SetResidency(VmSlot& vm, VmResidency next) {
+  if (vm.residency == next) {
+    return;
+  }
+  if (vm.residency == VmResidency::kPartial) {
+    --state_.partials_homed[vm.home];
+  }
+  vm.residency = next;
+  if (next == VmResidency::kPartial) {
+    ++state_.partials_homed[vm.home];
+  }
+  state_.dirty.MarkVm(vm.id);
+  state_.dirty.MarkHost(vm.home);
+  state_.dirty.MarkHost(vm.location);
+}
+
+void Actuator::MarkInFlightChanged(const VmSlot& vm) {
+  state_.dirty.MarkVm(vm.id);
+  state_.dirty.MarkHost(vm.location);
+}
+
 void Actuator::HandleActivation(SimTime now, VmId vm_id, SimTime activation_time) {
   VmSlot& vm = Slot(vm_id);
   if (vm.migration_in_flight && TryAbortPendingMigration(now, vm)) {
@@ -102,7 +123,7 @@ bool Actuator::TryConvertInPlace(SimTime now, VmSlot& vm, SimTime activation_tim
   // partial VM that turns active converts to a full VM).
   uint64_t fetched = vm.ws_bytes - vm.ws_unfetched;
   metrics_.traffic.Add(TrafficCategory::kOnDemandPages, vm.full_bytes - fetched);
-  vm.residency = VmResidency::kFullAtConsolidation;
+  SetResidency(vm, VmResidency::kFullAtConsolidation);
   vm.ws_bytes = 0;
   vm.ws_unfetched = 0;
   vm.dirty_bytes = 0;
@@ -146,7 +167,7 @@ bool Actuator::TryNewHome(SimTime now, VmSlot& vm, SimTime activation_time) {
   AdjustActiveCount(now, target_id, +1);
   HostId old_location = vm.location;
   vm.location = target_id;
-  vm.residency = VmResidency::kFullAtConsolidation;
+  SetResidency(vm, VmResidency::kFullAtConsolidation);
   vm.ws_bytes = 0;
   vm.ws_unfetched = 0;
   vm.dirty_bytes = 0;
@@ -180,10 +201,13 @@ SimTime Actuator::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
   SimTime last_done = t0;
 
   // The requester reintegrates first; its delay is what the user feels.
+  // vms_by_home lists the home's VMs in ascending id order — the same order
+  // the original full-table walk visited them.
   std::vector<VmId> partials;
   std::vector<VmId> idle_fulls;
-  for (const VmSlot& vm : state_.vms) {
-    if (vm.home != home_id || vm.migration_in_flight) {
+  for (VmId vid : state_.vms_by_home[home_id]) {
+    const VmSlot& vm = state_.vms[vid];
+    if (vm.migration_in_flight) {
       continue;
     }
     if (vm.residency == VmResidency::kPartial) {
@@ -216,7 +240,7 @@ SimTime Actuator::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
         home.EnqueueInboundTransfer(t0, t.reintegration_transfer) + t.reintegration_fixed;
     TraceMigration("reintegration", t0, done, id, home_id, vm.dirty_bytes);
     vm.location = home_id;
-    vm.residency = VmResidency::kFullAtHome;
+    SetResidency(vm, VmResidency::kFullAtHome);
     vm.ws_bytes = 0;
     vm.ws_unfetched = 0;
     vm.dirty_bytes = 0;
@@ -242,7 +266,7 @@ SimTime Actuator::ReturnHomeGroup(SimTime now, HostId home_id, VmId requester,
     TraceMigration("full_migration", done - t.full_migration, done, id, home_id,
                    vm.full_bytes);
     vm.location = home_id;
-    vm.residency = VmResidency::kFullAtHome;
+    SetResidency(vm, VmResidency::kFullAtHome);
     ScheduleMigration(vm, done - t.full_migration, done, VmSlot::PendingOp::kFullReturnMove,
                       source_id);
     last_done = std::max(last_done, done);
@@ -308,7 +332,7 @@ void Actuator::FullToPartialSwapGroup(SimTime now, HostId home_id,
     cons.RemoveVm(now, id);
     home.AddVm(now, id);
     vm.location = home_id;
-    vm.residency = VmResidency::kFullAtHome;
+    SetResidency(vm, VmResidency::kFullAtHome);
     metrics_.traffic.Add(TrafficCategory::kFullMigration, vm.full_bytes);
     ++metrics_.full_migrations;
     // Leg 2: partial-migrate back to the same consolidation host.
@@ -318,7 +342,7 @@ void Actuator::FullToPartialSwapGroup(SimTime now, HostId home_id,
       home.RemoveVm(now, id);
       cons.AddVm(now, id);
       vm.location = cons_id;
-      vm.residency = VmResidency::kPartial;
+      SetResidency(vm, VmResidency::kPartial);
       vm.ws_bytes = ws;
       vm.ws_unfetched = ws;
       vm.dirty_bytes = 0;
@@ -359,7 +383,7 @@ void Actuator::CommitVacatePlan(SimTime now, const VacatePlan& plan) {
         // migration, so they keep their resources and performance.
         done = source.EnqueueOutboundMigration(dest_ready, t.full_migration);
         dest.Reserve(vm.full_bytes);
-        vm.residency = VmResidency::kFullAtConsolidation;
+        SetResidency(vm, VmResidency::kFullAtConsolidation);
         if (vm.activity == VmActivity::kActive) {
           AdjustActiveCount(now, source_id, -1);
           AdjustActiveCount(now, dest_id, +1);
@@ -371,7 +395,7 @@ void Actuator::CommitVacatePlan(SimTime now, const VacatePlan& plan) {
         done = source.EnqueueOutboundMigration(dest_ready, t.partial_migration);
         uint64_t ws = placement.bytes;
         dest.Reserve(ws);
-        vm.residency = VmResidency::kPartial;
+        SetResidency(vm, VmResidency::kPartial);
         vm.ws_bytes = ws;
         vm.ws_unfetched = ws;
         vm.dirty_bytes = 0;
@@ -520,13 +544,10 @@ void Actuator::RefreshMemoryServer(SimTime now, HostId home_id) {
 }
 
 int Actuator::CountPartialsHomedAt(HostId home_id) const {
-  int n = 0;
-  for (const VmSlot& vm : state_.vms) {
-    if (vm.home == home_id && vm.residency == VmResidency::kPartial) {
-      ++n;
-    }
-  }
-  return n;
+  // Maintained exactly by SetResidency (a VM's home never changes), so the
+  // memory-server refresh on every host sleep is O(1) instead of a VM-table
+  // scan; the invariant checker re-derives it from scratch each round.
+  return state_.partials_homed[home_id];
 }
 
 void Actuator::ScheduleMigration(VmSlot& vm, SimTime start, SimTime done,
@@ -535,6 +556,7 @@ void Actuator::ScheduleMigration(VmSlot& vm, SimTime start, SimTime done,
   vm.migration_start = start;
   vm.pending_op = op;
   vm.migration_source = source;
+  MarkInFlightChanged(vm);
   uint32_t epoch = ++vm.op_epoch;
   VmId id = vm.id;
   sim_.ScheduleAt(done, [this, id, epoch]() { FinishMigration(sim_.now(), id, epoch); });
@@ -563,7 +585,7 @@ bool Actuator::RollbackMigration(SimTime now, VmSlot& vm) {
         AdjustActiveCount(now, vm.home, +1);
       }
       vm.location = vm.home;
-      vm.residency = VmResidency::kFullAtHome;
+      SetResidency(vm, VmResidency::kFullAtHome);
       vm.ws_bytes = 0;
       vm.ws_unfetched = 0;
       vm.dirty_bytes = 0;
@@ -600,7 +622,7 @@ bool Actuator::RollbackMigration(SimTime now, VmSlot& vm) {
         AdjustActiveCount(now, vm.migration_source, +1);
       }
       vm.location = vm.migration_source;
-      vm.residency = VmResidency::kFullAtConsolidation;
+      SetResidency(vm, VmResidency::kFullAtConsolidation);
       break;
     }
     case VmSlot::PendingOp::kReturnMove:
@@ -612,6 +634,7 @@ bool Actuator::RollbackMigration(SimTime now, VmSlot& vm) {
   vm.migration_in_flight = false;
   vm.pending_op = VmSlot::PendingOp::kNone;
   vm.activation_pending = false;
+  MarkInFlightChanged(vm);
   return true;
 }
 
@@ -777,7 +800,7 @@ void Actuator::CrashHost(SimTime now, HostId id) {
       AdjustActiveCount(now, vm.home, +1);
     }
     vm.location = vm.home;
-    vm.residency = VmResidency::kFullAtHome;
+    SetResidency(vm, VmResidency::kFullAtHome);
     SimTime done = powered + config_.fault.vm_restart_latency;
     TraceMigration("crash_restart", now, done, vid, vm.home, vm.full_bytes);
     ScheduleMigration(vm, now, done, VmSlot::PendingOp::kOther, id);
@@ -807,9 +830,9 @@ void Actuator::FailMemoryServer(SimTime now, HostId home_id) {
   home.SetMemoryServerPowered(now, false);
   // Partials homed here that are mid-drain lose their backing store too;
   // roll them back so the group return below covers them.
-  for (VmSlot& vm : state_.vms) {
-    if (vm.home == home_id && vm.migration_in_flight &&
-        vm.pending_op == VmSlot::PendingOp::kDrainMove) {
+  for (VmId vid : state_.vms_by_home[home_id]) {
+    VmSlot& vm = state_.vms[vid];
+    if (vm.migration_in_flight && vm.pending_op == VmSlot::PendingOp::kDrainMove) {
       RollbackMigration(now, vm);
     }
   }
@@ -852,6 +875,7 @@ void Actuator::FinishMigration(SimTime now, VmId vm_id, uint32_t epoch) {
   }
   vm.migration_in_flight = false;
   vm.pending_op = VmSlot::PendingOp::kNone;
+  MarkInFlightChanged(vm);
   if (vm.activation_pending) {
     vm.activation_pending = false;
     if (vm.residency == VmResidency::kPartial) {

@@ -83,6 +83,13 @@ class Actuator {
   // --- helpers ------------------------------------------------------------
   ClusterHost& HostOf(HostId id) { return *state_.hosts[id]; }
   VmSlot& Slot(VmId id) { return state_.vms[id]; }
+  // The single gateway for residency changes: keeps the per-home partial
+  // count exact (a VM's home never changes) and records the change in the
+  // planner's dirty log. No actuator code assigns vm.residency directly.
+  void SetResidency(VmSlot& vm, VmResidency next);
+  // Records an in-flight flip (ScheduleMigration / FinishMigration /
+  // RollbackMigration) in the planner's dirty log.
+  void MarkInFlightChanged(const VmSlot& vm);
   // Sends the WoL and returns the time the host will be executing VMs. With
   // fault injection the wake can lose WoL packets or hang in resume, pushing
   // that time out; callers must use the returned value rather than asking

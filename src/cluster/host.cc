@@ -39,11 +39,17 @@ void ClusterHost::Release(uint64_t bytes) {
 void ClusterHost::AddVm(SimTime now, VmId vm) {
   vms_.insert(vm);
   meter_.SetDraw(now, CurrentDraw());
+  if (dirty_ != nullptr) {
+    dirty_->MarkHost(id_);
+  }
 }
 
 void ClusterHost::RemoveVm(SimTime now, VmId vm) {
   vms_.erase(vm);
   meter_.SetDraw(now, CurrentDraw());
+  if (dirty_ != nullptr) {
+    dirty_->MarkHost(id_);
+  }
 }
 
 void ClusterHost::SetActiveVms(SimTime now, int n) {
@@ -101,12 +107,14 @@ void ClusterHost::RequestSleep(Simulator& sim, std::function<void(SimTime)> on_a
   assert(active_vms_ == 0 && "host with active VMs must never sleep");
   Transition(sim.now(), HostPowerState::kSuspending);
   uint64_t epoch = ++transition_epoch_;
-  sim.ScheduleAfter(power_.suspend_latency, [this, &sim, epoch,
-                                             on_asleep = std::move(on_asleep)]() {
+  sleep_waiter_ = std::move(on_asleep);
+  sim.ScheduleAfter(power_.suspend_latency, [this, &sim, epoch]() {
     if (transition_epoch_ != epoch || state_ != HostPowerState::kSuspending) {
       return;
     }
     Transition(sim.now(), HostPowerState::kSleeping);
+    std::function<void(SimTime)> on_asleep = std::move(sleep_waiter_);
+    sleep_waiter_ = nullptr;
     if (on_asleep && !wake_after_suspend_) {
       on_asleep(sim.now());
     }
@@ -128,6 +136,7 @@ void ClusterHost::Crash(SimTime now) {
   ++transition_epoch_;  // invalidate any in-flight suspend/resume completion
   wake_after_suspend_ = false;
   wake_waiters_.clear();
+  sleep_waiter_ = nullptr;
   if (state_ != HostPowerState::kSleeping) {
     Transition(now, HostPowerState::kSleeping);
   }

@@ -39,6 +39,11 @@ class ClusterHost {
   void Reserve(uint64_t bytes);
   void Release(uint64_t bytes);
 
+  // Wires the owning manager's planner change log; resident-set changes
+  // self-mark this host so the incremental planner rescans it (nullptr — the
+  // default — disables marking, e.g. for standalone hosts in tests).
+  void set_dirty_tracker(DirtyTracker* tracker) { dirty_ = tracker; }
+
   // --- VM presence ------------------------------------------------------
   // Adding/removing VMs changes the host's power draw (which saturates at
   // the Table 1 twenty-VM measurement), so both take the current time.
@@ -104,6 +109,7 @@ class ClusterHost {
 
   HostId id_;
   HostRole role_;
+  DirtyTracker* dirty_ = nullptr;
   HostPowerProfile power_;
   Watts ms_watts_;
   uint64_t capacity_bytes_;
@@ -115,6 +121,10 @@ class ClusterHost {
   uint64_t transition_epoch_ = 0;  // invalidates stale scheduled transitions
   bool wake_after_suspend_ = false;
   std::vector<std::function<void(SimTime)>> wake_waiters_;
+  // At most one suspend is ever in flight (RequestSleep only acts from
+  // kPowered), so its completion callback lives here instead of in the
+  // scheduled closure — keeping that closure inside EventClosure::kCapacity.
+  std::function<void(SimTime)> sleep_waiter_;
 
   SimTime outbound_busy_until_;
   SimTime inbound_busy_until_;

@@ -149,6 +149,32 @@ void CheckClusterInvariants(const ClusterManager& manager, SimTime now,
                    obs::TraceArgs{H(host.id())});
   }
 
+  // --- maintained aggregates ------------------------------------------------
+  // partials_homed is updated at every residency transition; re-derive it
+  // from the VM table so a missed or double-counted transition is caught
+  // within one planning round.
+  {
+    std::vector<int> derived(num_hosts, 0);
+    for (size_t v = 0; v < num_vms; ++v) {
+      const VmSlot& vm = manager.GetVm(static_cast<VmId>(v));
+      if (vm.residency == VmResidency::kPartial) {
+        ++derived[vm.home];
+      }
+    }
+    for (size_t h = 0; h < num_hosts; ++h) {
+      HostId hid = static_cast<HostId>(h);
+      checker.Expect(manager.PartialsHomedAt(hid) == derived[h],
+                     "cluster.partials_homed_counter_exact", now,
+                     [&] {
+                       return "home " + std::to_string(hid) + " counter says " +
+                              std::to_string(manager.PartialsHomedAt(hid)) +
+                              " partials homed, walk found " + std::to_string(derived[h]);
+                     },
+                     obs::TraceArgs{H(hid), -1,
+                                    static_cast<int64_t>(manager.PartialsHomedAt(hid))});
+    }
+  }
+
   // --- per-VM state machine -------------------------------------------------
   for (size_t v = 0; v < num_vms; ++v) {
     VmId vid = static_cast<VmId>(v);

@@ -45,6 +45,7 @@ ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace,
   int total_vms = config_.TotalVms();
   state_.vms.reserve(static_cast<size_t>(total_vms));
   state_.vm_ever_uploaded.assign(static_cast<size_t>(total_vms), false);
+  state_.vms_by_home.assign(state_.hosts.size(), {});
   for (int v = 0; v < total_vms; ++v) {
     VmSlot slot;
     slot.id = static_cast<VmId>(v);
@@ -56,6 +57,7 @@ ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace,
                         : VmActivity::kIdle;
     slot.residency = VmResidency::kFullAtHome;
     state_.vms.push_back(slot);
+    state_.vms_by_home[slot.home].push_back(slot.id);
     ClusterHost& home = *state_.hosts[slot.home];
     home.AddVm(SimTime::Zero(), slot.id);
     home.Reserve(slot.full_bytes);
@@ -64,6 +66,14 @@ ClusterManager::ClusterManager(const ClusterConfig& config, TraceSet trace,
     }
   }
   state_.pending_wake_powered_at.assign(state_.hosts.size(), SimTime::Zero());
+  state_.partials_homed.assign(state_.hosts.size(), 0);
+  // Size the planner change log and wire host self-marking only now:
+  // construction-time marks would be redundant with the planner's first
+  // refresh, which is always a full rebuild.
+  state_.dirty.Reset(state_.hosts.size(), state_.vms.size());
+  for (const auto& host : state_.hosts) {
+    host->set_dirty_tracker(&state_.dirty);
+  }
 }
 
 ClusterMetrics ClusterManager::Run() {

@@ -73,6 +73,9 @@ class ClusterManager {
   const VmSlot& GetVm(VmId id) const { return state_.vms[id]; }
   size_t num_hosts() const { return state_.hosts.size(); }
   size_t num_vms() const { return state_.vms.size(); }
+  // The maintained per-home partial count (see ClusterState::partials_homed);
+  // the invariant checker re-derives it from the VM table every round.
+  int PartialsHomedAt(HostId home) const { return state_.partials_homed[home]; }
   const FaultInjector& fault_injector() const { return fault_; }
   const ConsolidationStrategy& strategy() const { return *strategy_; }
 

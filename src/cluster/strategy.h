@@ -5,7 +5,11 @@
 // which hosts get to sleep. It reads the cluster only through ClusterView
 // and effects every decision through Actuator verbs — it can never touch a
 // host or VM slot directly. Strategies are pure functions of the view: they
-// carry no mutable members and no memory between intervals.
+// carry no *decision* state between intervals. A strategy may keep derived
+// scan caches (state rebuildable from the view at any instant, invalidated
+// via the view's DirtyTracker — see OasisGreedyStrategy's incremental
+// backend), because a cache that is provably a function of the current view
+// cannot smuggle information between intervals.
 //
 // Registered strategies:
 //   "oasis-greedy"         — the paper's §3 algorithm (full-to-partial swaps,

@@ -41,6 +41,19 @@ struct ClusterState {
   // Per host: when a fault-delayed wake will have the host powered
   // (SimTime::Zero() = no delayed wake pending).
   std::vector<SimTime> pending_wake_powered_at;
+  // Per home host: its VM ids in ascending order. A VM's home never changes
+  // (documented deviation from the paper), so this index is built once at
+  // construction and lets home-keyed walks skip the full VM table.
+  std::vector<std::vector<VmId>> vms_by_home;
+  // Per home host: how many of its VMs currently have kPartial residency.
+  // Maintained by Actuator::SetResidency; the memory-server refresh on every
+  // host sleep reads it instead of scanning the VM table.
+  std::vector<int> partials_homed;
+  // Planner-relevant change log (see DirtyTracker). Mutable because it is
+  // bookkeeping *about* the state, consumed and cleared by the planner
+  // through the read-only view — clearing it cannot change any simulation
+  // outcome, only how much cached scan state the next refresh recomputes.
+  mutable DirtyTracker dirty;
 };
 
 // The strategies' window onto ClusterState. Cheap to construct (four
@@ -77,6 +90,19 @@ class ClusterView {
   uint64_t SampleWorkingSet() const {
     return ws_sampler_->Sample(config_->vm_memory_bytes);
   }
+
+  // Direct stream access for OASIS_PLAN=verify: the cross-check snapshots
+  // and restores both cursors so it can run each planning pass twice
+  // (incremental compute, then the authoritative full compute) without
+  // advancing the streams twice. Strategies must not use these otherwise.
+  Rng* rng_state() const { return rng_; }
+  WorkingSetSampler* ws_sampler_state() const { return ws_sampler_; }
+
+  // Home-keyed VM index and the planner change log (see ClusterState).
+  const std::vector<VmId>& vms_of_home(HostId home) const {
+    return state_->vms_by_home[home];
+  }
+  DirtyTracker& dirty_tracker() const { return state_->dirty; }
 
  private:
   const ClusterConfig* config_;

@@ -56,15 +56,19 @@ int JobsFromEnv() {
   return HardwareJobs();
 }
 
-std::vector<SimulationResult> RunParallel(const ExperimentPlan& plan, int jobs) {
-  const std::vector<PlannedRun>& runs = plan.runs();
-  std::vector<SimulationResult> results(runs.size());
+int EffectiveWorkers(int jobs, size_t run_count) {
   // Workers beyond the hardware add scheduling churn without parallelism
   // (the profiler attributed the jobs=4 loss on small hosts to exactly
   // that); beyond the run count they would only idle. A one-worker pool is
   // pure overhead over the inline loop — and the plan-order merge contract
   // makes the two paths byte-identical — so it takes the serial path too.
-  const int workers = std::min({jobs, HardwareJobs(), static_cast<int>(runs.size())});
+  return std::max(1, std::min({jobs, HardwareJobs(), static_cast<int>(run_count)}));
+}
+
+std::vector<SimulationResult> RunParallel(const ExperimentPlan& plan, int jobs) {
+  const std::vector<PlannedRun>& runs = plan.runs();
+  std::vector<SimulationResult> results(runs.size());
+  const int workers = EffectiveWorkers(jobs, runs.size());
   if (workers <= 1 || runs.size() <= 1) {
     // The legacy serial path: inline on this thread, straight into whatever
     // collectors are in effect (normally the process globals).

@@ -76,6 +76,14 @@ int HardwareJobs();
 // OASIS_JOBS when set to a positive integer, else HardwareJobs().
 int JobsFromEnv();
 
+// The worker count RunParallel actually uses when asked for `jobs` over
+// `run_count` runs: clamped to the hardware (more workers than cores add
+// scheduling churn without parallelism) and to the run count (extra workers
+// would only idle), floor 1 (the serial inline path). Exposed so sweep
+// harnesses can tell which requested job counts collapse to the same
+// execution — on a 1-core host every jobs=N point is the same serial run.
+int EffectiveWorkers(int jobs, size_t run_count);
+
 // Executes every planned run and returns results indexed by plan position.
 // jobs > 1: a ThreadPool of min(jobs, plan.size()) workers, one run-local
 // obs::RunContext per run, contexts merged into the globals in plan order

@@ -42,7 +42,8 @@ EventId EventQueue::Schedule(SimTime when, EventFn fn) {
   // Generations start at 1 so no valid id ever equals kInvalidEventId.
   ++slot.generation;
   slot.live = true;
-  heap_.push_back(Entry{when, next_seq_++, slot_index, slot.generation, std::move(fn)});
+  slot.closure = std::move(fn);
+  heap_.push_back(Entry{when, next_seq_++, slot_index, slot.generation});
   std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   ++live_count_;
   return MakeId(slot_index, slot.generation);
@@ -59,8 +60,10 @@ bool EventQueue::Cancel(EventId id) {
   }
   // Tombstone: the heap entry stays (its generation no longer matches once
   // the slot is recycled, and `live` is false until then) and is skipped on
-  // pop. The slot is immediately reusable.
+  // pop. The closure dies here — capture destructors run inline — and the
+  // slot is immediately reusable.
   slot.live = false;
+  slot.closure.Reset();
   free_slots_.push_back(slot_index);
   --live_count_;
   return true;
@@ -82,13 +85,17 @@ EventQueue::Popped EventQueue::Pop() {
   SkipCancelled();
   assert(!heap_.empty() && "Pop() on empty EventQueue");
   std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
-  Entry top = std::move(heap_.back());
+  Entry top = heap_.back();
   heap_.pop_back();
   Slot& slot = slots_[top.slot];
+  // Move the closure to the caller before recycling the slot: the callable
+  // may schedule new events, which may claim this very slot (or grow the
+  // slot table and invalidate references into it).
+  EventFn fn = std::move(slot.closure);
   slot.live = false;
   free_slots_.push_back(top.slot);
   --live_count_;
-  return Popped{top.time, MakeId(top.slot, top.generation), std::move(top.fn)};
+  return Popped{top.time, MakeId(top.slot, top.generation), std::move(fn)};
 }
 
 }  // namespace oasis

@@ -1,26 +1,124 @@
 // Cancellable discrete-event queue.
 //
-// Events are closures scheduled at absolute simulated times. The closure
-// lives inline in the heap entry — Schedule and Pop touch only the heap
-// array, no per-event hash-map traffic on the simulator's hottest loop.
+// Events are closures scheduled at absolute simulated times. Closure state
+// lives inline in the pooled slot table (EventClosure below, a fixed-capacity
+// small-buffer type) and heap entries are trivially copyable 24-byte records,
+// so Schedule and Pop perform no per-event heap allocation and heap sifts
+// move plain words instead of running std::function managers.
 //
-// Cancellation is lazy: Cancel flips a generation-checked tombstone in a
-// small slot table and the dead entry is skipped (and destroyed) when it
-// surfaces at the top of the heap. EventIds encode (slot, generation), so a
-// stale id held across slot reuse can never cancel the wrong event.
+// Cancellation destroys the closure eagerly (captured state is released the
+// moment Cancel returns) and flips a generation-checked tombstone; the dead
+// heap entry is skipped when it surfaces at the top. EventIds encode
+// (slot, generation), so a stale id held across slot reuse can never cancel
+// the wrong event.
 
 #ifndef OASIS_SRC_SIM_EVENT_QUEUE_H_
 #define OASIS_SRC_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/units.h"
 
 namespace oasis {
 
-using EventFn = std::function<void()>;
+// A move-only callable with fixed inline storage and no heap fallback:
+// scheduling an event is a placement-new into the slot table, dispatching it
+// is one indirect call through a static per-type ops table (no vtable, no
+// std::function manager protocol). Captures larger than kCapacity are a
+// compile error — move bulky state into the callee (see
+// ClusterHost::RequestSleep for the pattern) rather than raising the cap;
+// the cap is what keeps slot-table relocation cheap.
+class EventClosure {
+ public:
+  static constexpr size_t kCapacity = 48;
+
+  EventClosure() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventClosure>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): callables convert implicitly
+  // so Schedule call sites read exactly as they did with std::function.
+  EventClosure(F&& fn) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "event closure captures exceed the 48-byte inline buffer; "
+                  "shrink the capture list or move state into the callee");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "event closure capture is over-aligned");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event closures must be nothrow-movable (slot relocation)");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+    ops_ = &OpsFor<Fn>::kOps;
+  }
+
+  EventClosure(EventClosure&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventClosure& operator=(EventClosure&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventClosure(const EventClosure&) = delete;
+  EventClosure& operator=(const EventClosure&) = delete;
+
+  ~EventClosure() { Reset(); }
+
+  // Destroys the held callable (running capture destructors inline) and
+  // leaves the closure empty.
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Relocate(void* dst, void* src) {
+      Fn* s = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void Destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(alignof(std::max_align_t)) unsigned char buf_[kCapacity];
+};
+
+using EventFn = EventClosure;
 using EventId = uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
@@ -31,8 +129,9 @@ class EventQueue {
   EventId Schedule(SimTime when, EventFn fn);
 
   // Cancels a pending event; returns false if it already ran or was
-  // cancelled. The closure of a cancelled event is destroyed lazily, when
-  // its tombstoned heap entry surfaces.
+  // cancelled. The closure is destroyed before Cancel returns — captured
+  // state (shared_ptrs, handles) is released immediately, not when the
+  // tombstoned heap entry eventually surfaces.
   bool Cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
@@ -41,7 +140,9 @@ class EventQueue {
   // Time of the earliest pending event; SimTime::Max() when empty.
   SimTime NextTime() const;
 
-  // Pops and returns the earliest pending event. Must not be empty.
+  // Pops and returns the earliest pending event. Must not be empty. The
+  // closure is moved out of the slot before the slot is recycled, so the
+  // callable may freely schedule new events (which can reuse its old slot).
   struct Popped {
     SimTime time;
     EventId id;
@@ -55,27 +156,30 @@ class EventQueue {
     uint64_t seq;
     uint32_t slot;
     uint32_t generation;
-    EventFn fn;
   };
+  static_assert(std::is_trivially_copyable_v<Entry>,
+                "heap sifts must move plain words");
 
-  // Per-slot liveness; ids are (generation << 32) | slot. A slot is recycled
-  // as soon as its event runs or is cancelled — the generation bump makes
-  // any heap entry or EventId still referring to the old tenant inert.
+  // Per-slot liveness plus the pooled closure storage; ids are
+  // (generation << 32) | slot. A slot is recycled as soon as its event runs
+  // or is cancelled — the generation bump makes any heap entry or EventId
+  // still referring to the old tenant inert.
   struct Slot {
     uint32_t generation = 0;
     bool live = false;
+    EventClosure closure;
   };
 
   bool EntryLive(const Entry& entry) const {
     const Slot& slot = slots_[entry.slot];
     return slot.live && slot.generation == entry.generation;
   }
-  // Drops tombstoned entries off the heap top (destroying their closures).
+  // Drops tombstoned entries off the heap top (their closures were already
+  // destroyed by Cancel).
   void SkipCancelled() const;
 
-  // Min-heap on (time, seq) maintained with push_heap/pop_heap: a plain
-  // vector lets Pop move the closure out of the extracted entry, which
-  // std::priority_queue's const top() forbids.
+  // Min-heap on (time, seq) maintained with push_heap/pop_heap over a plain
+  // vector of POD entries.
   mutable std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;

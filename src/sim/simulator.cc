@@ -54,16 +54,65 @@ Simulator::PeriodicHandle Simulator::SchedulePeriodic(SimTime first_delay, SimTi
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.NextTime() <= deadline) {
-    Step();
-  }
+  RunLoop(deadline);
   if (now_ < deadline) {
     now_ = deadline;
   }
 }
 
-void Simulator::RunToCompletion() {
-  while (Step()) {
+void Simulator::RunToCompletion() { RunLoop(SimTime::Max()); }
+
+void Simulator::RunLoop(SimTime deadline) {
+  // The hot dispatch loop. Observability gates (profiler, checker, metrics,
+  // tracer) are resolved once here instead of per event; collectors are
+  // configured before a run starts and never flip mid-run, which is what
+  // makes this equivalent to the per-event resolution in Step(). The
+  // sim.events_dispatched counter is accumulated locally and flushed on
+  // exit (the registry is only exported after the run returns); the
+  // queue-depth gauge keeps its per-pop store because its last-written
+  // value — depth after the final pop, before that event's own schedules —
+  // is pinned by the metric digests.
+  const bool profiling = prof::Profiler::Enabled();
+  check::InvariantChecker* checker = check::InvariantChecker::IfEnabled();
+  obs::Counter* dispatched_counter =
+      EffectiveMetrics() != nullptr ? dispatched_counter_ : nullptr;
+  obs::Gauge* depth_gauge = dispatched_counter != nullptr ? depth_gauge_ : nullptr;
+  obs::Tracer* tracer =
+      run_context_ != nullptr
+          ? (run_context_->tracer().enabled() ? &run_context_->tracer() : nullptr)
+          : obs::Tracer::IfEnabled();
+  uint64_t batched = 0;
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    const uint64_t t_pop = profiling ? prof::Profiler::NowNs() : 0;
+    EventQueue::Popped ev = queue_.Pop();
+    const uint64_t t_run = profiling ? prof::Profiler::NowNs() : 0;
+    if (profiling) {
+      prof::Profiler::Instance().RecordSpan(prof::Phase::kSimHeapPop, t_pop, t_run);
+    }
+    if (checker != nullptr && ev.time < now_) {
+      checker->Report("sim.event_time_monotonic", now_,
+                      "popped event at " + std::to_string(ev.time.micros()) +
+                          " us behind clock " + std::to_string(now_.micros()) + " us");
+    }
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    SetLogSimTime(now_);
+    ++dispatched_;
+    ++batched;
+    if (depth_gauge != nullptr) {
+      depth_gauge->Set(static_cast<double>(queue_.size()));
+    }
+    if (tracer != nullptr && (dispatched_ & 0x3f) == 0) {
+      tracer->CounterValue("sim", "queue_depth", now_, static_cast<int64_t>(queue_.size()));
+    }
+    ev.fn();
+    if (profiling) {
+      prof::Profiler::Instance().RecordSpan(prof::Phase::kSimDispatch, t_run,
+                                            prof::Profiler::NowNs());
+    }
+  }
+  if (dispatched_counter != nullptr && batched > 0) {
+    dispatched_counter->Increment(batched);
   }
 }
 

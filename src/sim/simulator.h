@@ -62,6 +62,8 @@ class Simulator {
   void RunToCompletion();
 
   // Executes at most one event; returns false when the queue is empty.
+  // Single-step path for tests and drivers: resolves every observability
+  // gate per call, unlike the run loops, which hoist them.
   bool Step();
 
   size_t pending_events() const { return queue_.size(); }
@@ -74,6 +76,10 @@ class Simulator {
   // effective registry changes, so one simulator object stays correct across
   // enable/disable flips and context installs.
   obs::MetricsRegistry* EffectiveMetrics();
+
+  // Shared body of RunUntil/RunToCompletion: dispatches events with
+  // observability gates hoisted out of the per-event path.
+  void RunLoop(SimTime deadline);
 
   EventQueue queue_;
   SimTime now_ = SimTime::Zero();

@@ -1,0 +1,195 @@
+// Plan-backend identity: the oasis-greedy strategy's incremental backend
+// (OASIS_PLAN=incremental, dirty-set-refreshed scan state) must reproduce
+// the full-rescan backend digest for digest — same seed, same plans, same
+// simulation, byte for byte — across every scenario shape the flagship
+// binaries exercise:
+//
+//   * quickstart        — the default cluster, weekday and weekend;
+//   * fig07/fig08       — the paper rack under all four consolidation
+//                         policies (swaps on and off, NewHome moves,
+//                         OnlyPartial's empty-plan early-outs);
+//   * chaos_day         — faults enabled: crashes and recoveries must mark
+//                         hosts dirty correctly or the cached rows go stale;
+//   * datacenter_day    — the sharded runner, per-rack digests and the
+//                         merged ledger.
+//
+// Every equality is checked at OASIS_JOBS 1 and 4 (the plan mode is read per
+// strategy construction, so worker threads inherit whatever the env said
+// when their manager was built). A final smoke runs OASIS_PLAN=verify, which
+// executes both backends per pass and exits(2) on any divergence — surviving
+// a chaos day under verify is the strongest single check in the suite.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/check/check.h"
+#include "src/cluster/strategy_oasis.h"
+#include "src/core/oasis.h"
+#include "src/dc/ledger.h"
+#include "src/dc/runner.h"
+#include "src/dc/topology.h"
+#include "src/exp/exp.h"
+#include "src/fault/fault.h"
+#include "tests/metric_digest.h"
+
+namespace oasis {
+namespace {
+
+using check::CheckMode;
+using check::InvariantChecker;
+
+// Sets OASIS_PLAN for the duration of one run. Strategies read the variable
+// at construction, which happens inside the Run call, so scoping the env
+// around it is airtight (no simulation threads outlive the scope).
+class ScopedPlanMode {
+ public:
+  explicit ScopedPlanMode(const char* mode) { setenv("OASIS_PLAN", mode, 1); }
+  ~ScopedPlanMode() { unsetenv("OASIS_PLAN"); }
+  ScopedPlanMode(const ScopedPlanMode&) = delete;
+  ScopedPlanMode& operator=(const ScopedPlanMode&) = delete;
+};
+
+// The paper's standard rack (30 homes x 30 VMs + 4 consolidation hosts),
+// as bench/bench_util.h builds it for fig07/fig08/chaos_day.
+SimulationConfig PaperRack(ConsolidationPolicy policy, DayKind day) {
+  SimulationConfig config;
+  config.cluster.policy = policy;
+  config.day = day;
+  config.seed = 20160418;
+  return config;
+}
+
+uint64_t DigestUnder(const SimulationConfig& config, const char* plan_mode, int jobs) {
+  ScopedPlanMode scoped(plan_mode);
+  exp::ExperimentPlan plan;
+  plan.Add(config);
+  std::vector<SimulationResult> results = exp::RunParallel(plan, jobs);
+  return testing::DigestResult(results.at(0));
+}
+
+class PlanModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { InvariantChecker::Install(&checker_); }
+  void TearDown() override {
+    InvariantChecker::Install(nullptr);
+    EXPECT_EQ(checker_.violation_count(), 0u)
+        << "invariant violations recorded during a plan-mode run";
+  }
+
+  // The pinned property: full rescan at jobs=1 is the reference; the full
+  // backend at jobs=4 and the incremental backend at both job counts must
+  // all fold to the same digest.
+  static void ExpectBackendIdentity(const SimulationConfig& config, const char* label) {
+    const uint64_t reference = DigestUnder(config, "full", 1);
+    EXPECT_EQ(DigestUnder(config, "full", 4), reference)
+        << label << ": full backend is not jobs-invariant";
+    for (int jobs : {1, 4}) {
+      EXPECT_EQ(DigestUnder(config, "incremental", jobs), reference)
+          << label << ": incremental diverged from full at jobs=" << jobs;
+    }
+  }
+
+  InvariantChecker checker_{CheckMode::kWarn};
+};
+
+TEST_F(PlanModeTest, DefaultsToIncremental) {
+  // The default is the fast backend — safe exactly because this suite pins
+  // it byte-identical to the reference.
+  unsetenv("OASIS_PLAN");
+  EXPECT_EQ(PlanModeFromEnv(), PlanMode::kIncremental);
+  EXPECT_EQ(OasisGreedyStrategy().mode(), PlanMode::kIncremental);
+  {
+    ScopedPlanMode scoped("full");
+    EXPECT_EQ(PlanModeFromEnv(), PlanMode::kFull);
+  }
+  {
+    ScopedPlanMode scoped("verify");
+    EXPECT_EQ(PlanModeFromEnv(), PlanMode::kVerify);
+  }
+}
+
+TEST_F(PlanModeTest, QuickstartDays) {
+  ExpectBackendIdentity(PaperRack(ConsolidationPolicy::kFullToPartial, DayKind::kWeekday),
+                        "quickstart weekday");
+  ExpectBackendIdentity(PaperRack(ConsolidationPolicy::kFullToPartial, DayKind::kWeekend),
+                        "quickstart weekend");
+}
+
+TEST_F(PlanModeTest, PaperRackAllPolicies) {
+  // fig08 sweeps the policy axis; each policy exercises a different subset
+  // of the planner (swap pass on/off, NewHome conversions, OnlyPartial's
+  // all-trusted gate and empty-plan early-outs).
+  for (ConsolidationPolicy policy :
+       {ConsolidationPolicy::kOnlyPartial, ConsolidationPolicy::kDefault,
+        ConsolidationPolicy::kFullToPartial, ConsolidationPolicy::kNewHome}) {
+    ExpectBackendIdentity(PaperRack(policy, DayKind::kWeekday),
+                          ConsolidationPolicyName(policy));
+  }
+}
+
+TEST_F(PlanModeTest, ChaosDayFaultsDirtyHostsCorrectly) {
+  // Crashes evict VMs and flip power states outside the planner's own
+  // actions; if those paths failed to mark hosts dirty, the incremental
+  // rows would go stale and the digests would split within one interval.
+  SimulationConfig config = PaperRack(ConsolidationPolicy::kFullToPartial,
+                                      DayKind::kWeekday);
+  config.cluster.fault = FaultConfig::ChaosDay();
+  ExpectBackendIdentity(config, "chaos day");
+}
+
+TEST_F(PlanModeTest, DatacenterDayShardsAgree) {
+  dc::DatacenterConfig config;
+  config.total_racks = 4;
+  config.racks_per_pod = 2;
+  config.rack.home_hosts = 4;
+  config.rack.consolidation_hosts = 2;
+  config.rack.vms_per_home = 5;
+  config.rack.fault.enabled = true;
+  config.rack.fault.host_crash_per_hour = 0.02;
+  config.coordinator.rack_power_cap_watts = 3200.0;
+  config.coordinator.cap_events_per_rack_day = 0.25;
+
+  auto run_dc = [&config](const char* plan_mode, int jobs) {
+    ScopedPlanMode scoped(plan_mode);
+    StatusOr<dc::DatacenterTopology> topology = dc::DatacenterTopology::Build(config);
+    EXPECT_TRUE(topology.ok()) << topology.status().message();
+    return dc::ShardRunner(jobs).Run(topology.value());
+  };
+  auto ledger_digest = [](const dc::DatacenterRun& run) {
+    const dc::GlobalCoordinator coordinator(run.config.coordinator);
+    return dc::DatacenterLedger::Build(run, coordinator.Coordinate(run)).Digest();
+  };
+
+  dc::DatacenterRun reference = run_dc("full", 1);
+  const uint64_t reference_ledger = ledger_digest(reference);
+  for (const char* plan_mode : {"full", "incremental"}) {
+    for (int jobs : {1, 4}) {
+      dc::DatacenterRun run = run_dc(plan_mode, jobs);
+      ASSERT_EQ(run.racks.size(), reference.racks.size());
+      for (size_t i = 0; i < run.racks.size(); ++i) {
+        EXPECT_EQ(testing::DigestMetrics(run.racks[i].metrics),
+                  testing::DigestMetrics(reference.racks[i].metrics))
+            << "rack " << reference.racks[i].rack << " diverged under plan="
+            << plan_mode << " jobs=" << jobs;
+      }
+      EXPECT_EQ(ledger_digest(run), reference_ledger)
+          << "merged ledger diverged under plan=" << plan_mode << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST_F(PlanModeTest, VerifyModeSurvivesAChaosDay) {
+  // verify runs both backends per pass, rewinding the planning streams in
+  // between, and exits(2) on the first divergence — so merely completing a
+  // fault-heavy day is a per-pass (not just end-of-day) identity check.
+  SimulationConfig config = PaperRack(ConsolidationPolicy::kFullToPartial,
+                                      DayKind::kWeekday);
+  config.cluster.fault = FaultConfig::ChaosDay();
+  const uint64_t reference = DigestUnder(config, "full", 1);
+  EXPECT_EQ(DigestUnder(config, "verify", 1), reference);
+}
+
+}  // namespace
+}  // namespace oasis

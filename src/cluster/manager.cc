@@ -174,6 +174,8 @@ void ClusterManager::OnInterval(SimTime now, int interval) {
         ->Increment(static_cast<uint64_t>(actions.drain_moves));
     m->counter(prefix + ".swapped_vms")
         ->Increment(static_cast<uint64_t>(actions.swapped_vms));
+    m->counter(prefix + ".prewoken_hosts")
+        ->Increment(static_cast<uint64_t>(actions.prewoken_hosts));
   }
 }
 

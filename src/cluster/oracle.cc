@@ -1,0 +1,456 @@
+#include "src/cluster/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mem/working_set.h"
+
+namespace oasis {
+namespace {
+
+constexpr double kIntervalSeconds = static_cast<double>(kTraceIntervalSeconds);
+
+// The day's activity and cost constants, precomputed once per Solve so the
+// annealer's inner loop is pure arithmetic.
+struct DayModel {
+  int num_homes;
+  int num_cons;
+  int vms_per_home;
+  int intervals;
+  uint64_t cons_capacity;  // effective bytes per consolidation host
+  int active_slots;        // MaxActiveVmsPerHost
+  double loaded_w;         // powered home draw (saturated Table 1 rate)
+  double sleep_w;
+  double ms_w;
+  double cons_idle_w;
+  double per_vm_w;
+  double suspend_j;  // one S3 entry transition
+  double resume_j;   // one S3 exit transition
+  double partial_mig_s;
+  double full_mig_s;
+
+  // Per (home, interval), flattened h * intervals + t.
+  std::vector<int> active_count;
+  std::vector<uint64_t> parked_bytes;  // bytes the home parks if asleep then
+  std::vector<uint8_t> parks_idle;     // parks at least one idle VM (ms on)
+
+  size_t At(int h, int t) const {
+    return static_cast<size_t>(h) * static_cast<size_t>(intervals) +
+           static_cast<size_t>(t);
+  }
+};
+
+DayModel BuildModel(const ClusterConfig& config, const TraceSet& trace,
+                    const std::vector<uint64_t>& ws) {
+  DayModel m;
+  m.num_homes = config.num_home_hosts;
+  m.num_cons = config.num_consolidation_hosts;
+  m.vms_per_home = config.vms_per_home;
+  m.intervals = kIntervalsPerDay;
+  m.cons_capacity = static_cast<uint64_t>(
+      static_cast<double>(config.host_memory_bytes) * config.memory_overcommit);
+  m.active_slots = config.MaxActiveVmsPerHost();
+  const HostPowerProfile& p = config.host_power;
+  m.loaded_w = p.Draw(HostPowerState::kPowered, config.vms_per_home);
+  m.sleep_w = p.sleep_watts;
+  m.ms_w = config.memory_server_power.TotalWatts();
+  m.cons_idle_w = p.idle_watts;
+  m.per_vm_w = p.PerVmWatts();
+  m.suspend_j = p.suspend_latency.seconds() * p.suspend_watts;
+  m.resume_j = p.resume_latency.seconds() * p.resume_watts;
+  m.partial_mig_s = config.timings.partial_migration.seconds();
+  m.full_mig_s = config.timings.full_migration.seconds();
+
+  size_t cells = static_cast<size_t>(m.num_homes) * static_cast<size_t>(m.intervals);
+  m.active_count.assign(cells, 0);
+  m.parked_bytes.assign(cells, 0);
+  m.parks_idle.assign(cells, 0);
+  for (int h = 0; h < m.num_homes; ++h) {
+    for (int k = 0; k < m.vms_per_home; ++k) {
+      size_t vm_id = static_cast<size_t>(h) * static_cast<size_t>(m.vms_per_home) +
+                     static_cast<size_t>(k);
+      const UserDay& day = trace[vm_id % trace.size()];
+      for (int t = 0; t < m.intervals; ++t) {
+        size_t at = m.At(h, t);
+        if (day.IsActive(t)) {
+          ++m.active_count[at];
+          m.parked_bytes[at] += config.vm_memory_bytes;
+        } else {
+          m.parked_bytes[at] += ws[vm_id];
+          m.parks_idle[at] = 1;
+        }
+      }
+    }
+  }
+  return m;
+}
+
+// Cluster draw at one interval given the sleeping-home aggregates. Sets
+// *feasible to whether the parked load fits the consolidation tier.
+double PowerAt(const DayModel& m, int sleeping, int parked_active, int parked_idle,
+               uint64_t parked_bytes, int ms_on, bool* feasible) {
+  uint64_t by_bytes =
+      parked_bytes == 0 ? 0 : (parked_bytes + m.cons_capacity - 1) / m.cons_capacity;
+  int by_cpu = parked_active == 0
+                   ? 0
+                   : (parked_active + m.active_slots - 1) / m.active_slots;
+  int cons = static_cast<int>(std::max<uint64_t>(by_bytes, static_cast<uint64_t>(by_cpu)));
+  if (feasible != nullptr) {
+    *feasible = cons <= m.num_cons;
+  }
+  cons = std::min(cons, m.num_cons);
+  double residents = static_cast<double>(parked_active + parked_idle);
+  return static_cast<double>(m.num_homes - sleeping) * m.loaded_w +
+         static_cast<double>(sleeping) * m.sleep_w +
+         static_cast<double>(ms_on) * m.ms_w +
+         static_cast<double>(cons) * m.cons_idle_w +
+         m.per_vm_w * std::min(residents, 20.0 * cons) +
+         static_cast<double>(m.num_cons - cons) * m.sleep_w;
+}
+
+// Whole-day schedule state with incrementally maintained per-interval
+// aggregates and energy terms.
+struct Schedule {
+  const DayModel* m;
+  // rows[h][t] = 1 while home h sleeps.
+  std::vector<std::vector<uint8_t>> rows;
+  std::vector<int> sleeping;       // per t
+  std::vector<int> parked_active;  // per t
+  std::vector<int> parked_idle;    // per t
+  std::vector<uint64_t> parked_bytes;
+  std::vector<int> ms_on;
+  std::vector<double> power;  // per t, watts
+  std::vector<double> trans;  // per home, joules
+  double power_sum = 0.0;     // watts summed over intervals
+  double trans_sum = 0.0;
+
+  explicit Schedule(const DayModel& model)
+      : m(&model),
+        rows(static_cast<size_t>(model.num_homes),
+             std::vector<uint8_t>(static_cast<size_t>(model.intervals), 0)),
+        sleeping(static_cast<size_t>(model.intervals), 0),
+        parked_active(static_cast<size_t>(model.intervals), 0),
+        parked_idle(static_cast<size_t>(model.intervals), 0),
+        parked_bytes(static_cast<size_t>(model.intervals), 0),
+        ms_on(static_cast<size_t>(model.intervals), 0),
+        power(static_cast<size_t>(model.intervals), 0.0),
+        trans(static_cast<size_t>(model.num_homes), 0.0) {}
+
+  void AddHomeAt(int h, int t, int sign) {
+    size_t at = m->At(h, t);
+    size_t ti = static_cast<size_t>(t);
+    sleeping[ti] += sign;
+    parked_active[ti] += sign * m->active_count[at];
+    parked_idle[ti] += sign * (m->vms_per_home - m->active_count[at]);
+    if (sign > 0) {
+      parked_bytes[ti] += m->parked_bytes[at];
+    } else {
+      parked_bytes[ti] -= m->parked_bytes[at];
+    }
+    ms_on[ti] += sign * static_cast<int>(m->parks_idle[at]);
+  }
+
+  // Entry/exit costs of every sleep episode of home h: migration-out at
+  // loaded power (serialized on the source NIC, capped at one interval),
+  // the S3 suspend, and — when the episode ends within the day — the S3
+  // resume.
+  double HomeTransitionCost(int h) const {
+    const std::vector<uint8_t>& row = rows[static_cast<size_t>(h)];
+    double cost = 0.0;
+    int t = 0;
+    while (t < m->intervals) {
+      if (row[static_cast<size_t>(t)] == 0) {
+        ++t;
+        continue;
+      }
+      int entry = t;
+      while (t < m->intervals && row[static_cast<size_t>(t)] != 0) {
+        ++t;
+      }
+      int n_active = m->active_count[m->At(h, entry)];
+      int n_idle = m->vms_per_home - n_active;
+      double mig_s = std::min(kIntervalSeconds, static_cast<double>(n_idle) * m->partial_mig_s +
+                                                    static_cast<double>(n_active) * m->full_mig_s);
+      cost += m->suspend_j + mig_s * (m->loaded_w - m->sleep_w);
+      if (t < m->intervals) {
+        cost += m->resume_j;
+      }
+    }
+    return cost;
+  }
+
+  // Recomputes every derived term from the rows (used after init).
+  // Returns false if any interval is infeasible.
+  bool RebuildAll() {
+    std::fill(sleeping.begin(), sleeping.end(), 0);
+    std::fill(parked_active.begin(), parked_active.end(), 0);
+    std::fill(parked_idle.begin(), parked_idle.end(), 0);
+    std::fill(parked_bytes.begin(), parked_bytes.end(), 0);
+    std::fill(ms_on.begin(), ms_on.end(), 0);
+    for (int h = 0; h < m->num_homes; ++h) {
+      for (int t = 0; t < m->intervals; ++t) {
+        if (rows[static_cast<size_t>(h)][static_cast<size_t>(t)] != 0) {
+          AddHomeAt(h, t, +1);
+        }
+      }
+    }
+    power_sum = 0.0;
+    bool all_feasible = true;
+    for (int t = 0; t < m->intervals; ++t) {
+      size_t ti = static_cast<size_t>(t);
+      bool feasible = true;
+      power[ti] = PowerAt(*m, sleeping[ti], parked_active[ti], parked_idle[ti],
+                          parked_bytes[ti], ms_on[ti], &feasible);
+      all_feasible = all_feasible && feasible;
+      power_sum += power[ti];
+    }
+    trans_sum = 0.0;
+    for (int h = 0; h < m->num_homes; ++h) {
+      trans[static_cast<size_t>(h)] = HomeTransitionCost(h);
+      trans_sum += trans[static_cast<size_t>(h)];
+    }
+    return all_feasible;
+  }
+
+  double EnergyJoules() const { return power_sum * kIntervalSeconds + trans_sum; }
+};
+
+// Hindsight-greedy starting point: sleep every all-idle run of at least two
+// intervals (one interval doesn't amortize the transitions), then wake the
+// biggest parkers wherever the consolidation tier overflows.
+void InitSchedule(Schedule& s) {
+  const DayModel& m = *s.m;
+  for (int h = 0; h < m.num_homes; ++h) {
+    int t = 0;
+    while (t < m.intervals) {
+      if (m.active_count[m.At(h, t)] != 0) {
+        ++t;
+        continue;
+      }
+      int run = t;
+      while (t < m.intervals && m.active_count[m.At(h, t)] == 0) {
+        ++t;
+      }
+      if (t - run >= 2) {
+        for (int u = run; u < t; ++u) {
+          s.rows[static_cast<size_t>(h)][static_cast<size_t>(u)] = 1;
+        }
+      }
+    }
+  }
+  if (s.RebuildAll()) {
+    return;
+  }
+  // Feasibility repair, interval by interval.
+  for (int t = 0; t < m.intervals; ++t) {
+    size_t ti = static_cast<size_t>(t);
+    for (;;) {
+      bool feasible = true;
+      (void)PowerAt(m, s.sleeping[ti], s.parked_active[ti], s.parked_idle[ti],
+                    s.parked_bytes[ti], s.ms_on[ti], &feasible);
+      if (feasible) {
+        break;
+      }
+      int worst = -1;
+      uint64_t worst_bytes = 0;
+      for (int h = 0; h < m.num_homes; ++h) {
+        if (s.rows[static_cast<size_t>(h)][ti] != 0 &&
+            (worst < 0 || m.parked_bytes[m.At(h, t)] > worst_bytes)) {
+          worst = h;
+          worst_bytes = m.parked_bytes[m.At(h, t)];
+        }
+      }
+      if (worst < 0) {
+        break;  // nothing left to wake; PowerAt already clamps
+      }
+      s.rows[static_cast<size_t>(worst)][ti] = 0;
+      s.AddHomeAt(worst, t, -1);
+    }
+  }
+  (void)s.RebuildAll();
+}
+
+double RelaxedLowerBound(const DayModel& m) {
+  double total_w = 0.0;
+  std::vector<std::tuple<int, uint64_t, int>> order(static_cast<size_t>(m.num_homes));
+  for (int t = 0; t < m.intervals; ++t) {
+    for (int h = 0; h < m.num_homes; ++h) {
+      size_t at = m.At(h, t);
+      order[static_cast<size_t>(h)] =
+          std::make_tuple(m.active_count[at], m.parked_bytes[at], h);
+    }
+    std::sort(order.begin(), order.end());
+    int sleeping = 0;
+    int parked_active = 0;
+    int parked_idle = 0;
+    uint64_t parked = 0;
+    int ms = 0;
+    bool feasible = true;
+    double best = PowerAt(m, 0, 0, 0, 0, 0, nullptr);  // everything powered
+    for (const auto& [a, bytes, h] : order) {
+      ++sleeping;
+      parked_active += a;
+      parked_idle += m.vms_per_home - a;
+      parked += bytes;
+      ms += static_cast<int>(m.parks_idle[m.At(h, t)]);
+      double p = PowerAt(m, sleeping, parked_active, parked_idle, parked, ms, &feasible);
+      if (!feasible) {
+        break;
+      }
+      best = std::min(best, p);
+    }
+    total_w += best;
+  }
+  return total_w * kIntervalSeconds;
+}
+
+void Anneal(Schedule& s, const OracleConfig& cfg, Rng& rng) {
+  const DayModel& m = *s.m;
+  std::vector<int> changed;
+  std::vector<double> old_power;
+  int iters = std::max(1, cfg.sa_iterations);
+  for (int i = 0; i < iters; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(iters);
+    double temp = cfg.initial_temperature_j *
+                  std::pow(cfg.final_temperature_j / cfg.initial_temperature_j, frac);
+    int h = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(m.num_homes)));
+    int t0 = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(m.intervals)));
+    int len = 1 + static_cast<int>(
+                      rng.NextBelow(static_cast<uint64_t>(cfg.max_move_intervals)));
+    int t1 = std::min(m.intervals, t0 + len);
+    uint8_t v = static_cast<uint8_t>(rng.NextBelow(2));
+    std::vector<uint8_t>& row = s.rows[static_cast<size_t>(h)];
+
+    changed.clear();
+    old_power.clear();
+    for (int t = t0; t < t1; ++t) {
+      if (row[static_cast<size_t>(t)] != v) {
+        changed.push_back(t);
+      }
+    }
+    if (changed.empty()) {
+      continue;
+    }
+    int sign = v != 0 ? +1 : -1;
+    bool infeasible = false;
+    double power_delta = 0.0;
+    size_t applied = 0;
+    for (int t : changed) {
+      size_t ti = static_cast<size_t>(t);
+      old_power.push_back(s.power[ti]);
+      s.AddHomeAt(h, t, sign);
+      ++applied;
+      bool feasible = true;
+      double p = PowerAt(m, s.sleeping[ti], s.parked_active[ti], s.parked_idle[ti],
+                         s.parked_bytes[ti], s.ms_on[ti], &feasible);
+      if (v != 0 && !feasible) {
+        infeasible = true;
+        break;
+      }
+      power_delta += p - s.power[ti];
+      s.power[ti] = p;
+    }
+    if (infeasible) {
+      for (size_t k = 0; k < applied; ++k) {
+        int t = changed[k];
+        s.AddHomeAt(h, t, -sign);
+        if (k + 1 < applied) {
+          s.power[static_cast<size_t>(t)] = old_power[k];
+        }
+      }
+      continue;
+    }
+    for (int t : changed) {
+      row[static_cast<size_t>(t)] = v;
+    }
+    double old_trans = s.trans[static_cast<size_t>(h)];
+    double new_trans = s.HomeTransitionCost(h);
+    double delta_j = power_delta * kIntervalSeconds + (new_trans - old_trans);
+    bool accept = delta_j <= 0.0 || rng.NextDouble() < std::exp(-delta_j / temp);
+    if (accept) {
+      s.power_sum += power_delta;
+      s.trans[static_cast<size_t>(h)] = new_trans;
+      s.trans_sum += new_trans - old_trans;
+      continue;
+    }
+    for (size_t k = 0; k < changed.size(); ++k) {
+      int t = changed[k];
+      row[static_cast<size_t>(t)] = static_cast<uint8_t>(v == 0 ? 1 : 0);
+      s.AddHomeAt(h, t, -sign);
+      s.power[static_cast<size_t>(t)] = old_power[k];
+    }
+  }
+}
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int b = 0; b < 8; ++b) {
+    hash ^= (value >> (b * 8)) & 0xFFu;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t OracleResult::Digest() const {
+  uint64_t hash = 1469598103934665603ULL;
+  hash = FnvMix(hash, DoubleBits(relaxed_lower_bound));
+  hash = FnvMix(hash, DoubleBits(schedule_energy));
+  hash = FnvMix(hash, DoubleBits(baseline_energy));
+  return hash;
+}
+
+OfflineOracle::OfflineOracle(const ClusterConfig& config, OracleConfig oracle_config)
+    : config_(config), oracle_(oracle_config) {}
+
+OracleResult OfflineOracle::Solve(const TraceSet& trace, uint64_t seed) const {
+  OracleResult result;
+  result.baseline_energy = config_.host_power.Draw(HostPowerState::kPowered,
+                                                   config_.vms_per_home) *
+                           config_.num_home_hosts * 24.0 * 3600.0;
+  if (trace.empty() || config_.num_home_hosts == 0) {
+    result.schedule_energy = result.baseline_energy;
+    result.relaxed_lower_bound = result.baseline_energy;
+    return result;
+  }
+  // The oracle's own working-set draws: sampled in VM id order from a
+  // sampler seeded off (seed, salt) only, so the result is independent of
+  // anything the simulation drew.
+  size_t num_vms = static_cast<size_t>(config_.TotalVms());
+  WorkingSetSampler sampler(config_.working_set, seed ^ oracle_.seed_salt);
+  std::vector<uint64_t> ws(num_vms, 0);
+  for (size_t v = 0; v < num_vms; ++v) {
+    ws[v] = sampler.Sample(config_.vm_memory_bytes);
+  }
+  DayModel model = BuildModel(config_, trace, ws);
+  Schedule schedule(model);
+  InitSchedule(schedule);
+  Rng rng(seed ^ (oracle_.seed_salt * 0x9E3779B97F4A7C15ULL));
+  Anneal(schedule, oracle_, rng);
+  result.schedule_energy = schedule.EnergyJoules();
+  // The per-interval relaxation is a floor under every schedule the model
+  // admits; min() guards the reported pair's ordering against any tie-level
+  // arithmetic wobble in the prefix heuristic.
+  result.relaxed_lower_bound = std::min(RelaxedLowerBound(model), result.schedule_energy);
+  return result;
+}
+
+double OptimalityGap(Joules strategy_energy, const OracleResult& oracle) {
+  if (oracle.schedule_energy <= 0.0) {
+    return 0.0;
+  }
+  return strategy_energy / oracle.schedule_energy - 1.0;
+}
+
+}  // namespace oasis

@@ -16,6 +16,7 @@ const RegistryEntry kRegistry[] = {
     {"oasis-greedy", &MakeOasisGreedyStrategy},
     {"first-fit-decreasing", &MakeFirstFitDecreasingStrategy},
     {"local-threshold", &MakeLocalThresholdStrategy},
+    {"predictive", &MakePredictiveStrategy},
 };
 
 }  // namespace

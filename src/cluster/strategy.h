@@ -11,6 +11,14 @@
 // backend), because a cache that is provably a function of the current view
 // cannot smuggle information between intervals.
 //
+// One declared exception to the no-decision-state rule: a *forecast* — an
+// online summary of past observed activity used to predict future activity
+// (see PredictiveStrategy). Forecast state is genuine cross-interval memory,
+// so it must be (a) declared here, (b) derived exclusively from what the
+// view exposed at past planning instants, and (c) never a hidden channel
+// for replaying its own past decisions. See DESIGN.md, "Strategy depth &
+// oracle bound".
+//
 // Registered strategies:
 //   "oasis-greedy"         — the paper's §3 algorithm (full-to-partial swaps,
 //                            power-gated greedy vacate planning, incremental
@@ -25,6 +33,11 @@
 //                            scan: each fully-idle home independently parks
 //                            its group on its statically designated
 //                            consolidation host whenever it fits.
+//   "predictive"           — oasis-greedy plus a diurnal activity forecast:
+//                            pre-drains almost-idle homes ahead of the
+//                            forecast trough and pre-wakes parked homes
+//                            ahead of the forecast peak, both behind the
+//                            same §3.1 power gate.
 
 #ifndef OASIS_SRC_CLUSTER_STRATEGY_H_
 #define OASIS_SRC_CLUSTER_STRATEGY_H_
@@ -72,7 +85,23 @@ struct PlanActions {
   int vacated_hosts = 0;
   int vacate_moves = 0;
   int drain_moves = 0;
+  int prewoken_hosts = 0;
   double committed_power_delta_watts = 0.0;
+};
+
+// Capability flags a strategy declares about itself, consumed by the
+// conformance suite (tests/strategy_conformance_test.cpp) to decide which
+// registry-wide invariants apply. Defaults describe a gate-respecting
+// strategy with a single planning backend.
+struct StrategyTraits {
+  // The strategy only commits vacate plans whose net power delta is
+  // positive (§3.1). Conformance asserts such strategies never migrate on
+  // a cluster configured so consolidation can't save energy.
+  bool has_power_gate = true;
+  // The strategy honors OASIS_PLAN=full|incremental|verify and produces
+  // byte-identical results under all three. Conformance asserts digest
+  // identity across modes for strategies that set this.
+  bool supports_plan_modes = false;
 };
 
 // Interface every consolidation strategy implements. PlanInterval runs at
@@ -84,6 +113,7 @@ class ConsolidationStrategy {
  public:
   virtual ~ConsolidationStrategy() = default;
   virtual const char* name() const = 0;
+  virtual StrategyTraits traits() const { return {}; }
   virtual PlanActions PlanInterval(const ClusterView& view, SimTime now, Actuator& act) = 0;
 };
 
@@ -109,6 +139,7 @@ void ApplyPolicyOverride(ClusterConfig* config);
 std::unique_ptr<ConsolidationStrategy> MakeOasisGreedyStrategy();
 std::unique_ptr<ConsolidationStrategy> MakeFirstFitDecreasingStrategy();
 std::unique_ptr<ConsolidationStrategy> MakeLocalThresholdStrategy();
+std::unique_ptr<ConsolidationStrategy> MakePredictiveStrategy();
 
 }  // namespace oasis
 

@@ -316,7 +316,7 @@ VacatePlan OasisGreedyStrategy::BuildVacatePlan(
   return PlaceAndPrice(view, now, candidates, std::move(dests), powered_dests, ws_flat);
 }
 
-VacatePlan OasisGreedyStrategy::PlaceAndPrice(const ClusterView& view, SimTime now,
+VacatePlan OasisGreedyStrategy::PlaceAndPrice(const ClusterView& view, SimTime /*now*/,
                                               const std::vector<Candidate>& candidates,
                                               std::vector<Dest> dests, size_t powered_dests,
                                               const std::vector<uint64_t>& planned_ws) const {
@@ -335,7 +335,12 @@ VacatePlan OasisGreedyStrategy::PlaceAndPrice(const ClusterView& view, SimTime n
     for (VmId id : host.vms()) {
       const VmSlot& vm = view.vm(id);
       bool consumes_cpu = vm.activity == VmActivity::kActive;
-      bool as_partial = view.TrustedIdle(vm, now);
+      // A nonzero planned working set marks the VM for partial placement.
+      // Callers populate the table for exactly the VMs they intend to park
+      // as partials (the greedy backends: trusted-idle residents; the
+      // predictive pre-drain: any currently idle resident), and samples are
+      // floored well above zero, so the encoding is unambiguous.
+      bool as_partial = planned_ws[id] != 0;
       uint64_t need = as_partial ? planned_ws[id] : vm.full_bytes;
       // Destination choice (§3.1): random among powered consolidation hosts
       // with room; spill onto sleeping hosts first-fit in a fixed order so

@@ -61,6 +61,9 @@ class OasisGreedyStrategy : public ConsolidationStrategy {
   explicit OasisGreedyStrategy(PlanMode mode = PlanModeFromEnv()) : mode_(mode) {}
 
   const char* name() const override { return kDefaultStrategyName; }
+  StrategyTraits traits() const override {
+    return {/*has_power_gate=*/true, /*supports_plan_modes=*/true};
+  }
   PlanActions PlanInterval(const ClusterView& view, SimTime now, Actuator& act) override;
   PlanMode mode() const { return mode_; }
 
@@ -80,7 +83,9 @@ class OasisGreedyStrategy : public ConsolidationStrategy {
   bool HostEligibleForVacate(const ClusterView& view, const ClusterHost& host,
                              SimTime now) const;
 
- private:
+ protected:
+  // The building blocks PredictiveStrategy composes with: candidate/dest
+  // tables, the rng-drawing placement+pricing core, and the §3.1 gate.
   struct Candidate {
     HostId host;
     uint64_t demand;
@@ -92,6 +97,19 @@ class OasisGreedyStrategy : public ConsolidationStrategy {
     bool sleeping;
     bool used = false;
   };
+
+  // --- backend-shared execution and pricing -------------------------------
+  // Places the (already demand-sorted) candidates onto a scratch copy of the
+  // destination table and prices the resulting plan. This is the only part
+  // of pass 2 that draws from the planning rng, so both backends share it.
+  VacatePlan PlaceAndPrice(const ClusterView& view, SimTime now,
+                           const std::vector<Candidate>& candidates,
+                           std::vector<Dest> dests, size_t powered_dests,
+                           const std::vector<uint64_t>& planned_ws) const;
+  void MaybeCommitVacatePlan(SimTime now, Actuator& act, PlanActions& actions,
+                             const VacatePlan& best) const;
+
+ private:
   // Per-host cached scan state for the incremental backend. Deliberately
   // minimal: everything except these two resident counts is O(1) to read
   // live from the view, so caching more would only widen the invalidation
@@ -103,18 +121,8 @@ class OasisGreedyStrategy : public ConsolidationStrategy {
   // Pass 1 decisions: (home, swap group) pairs in ascending home order.
   using SwapGroups = std::vector<std::pair<HostId, std::vector<VmId>>>;
 
-  // --- backend-shared execution and pricing -------------------------------
-  // Places the (already demand-sorted) candidates onto a scratch copy of the
-  // destination table and prices the resulting plan. This is the only part
-  // of pass 2 that draws from the planning rng, so both backends share it.
-  VacatePlan PlaceAndPrice(const ClusterView& view, SimTime now,
-                           const std::vector<Candidate>& candidates,
-                           std::vector<Dest> dests, size_t powered_dests,
-                           const std::vector<uint64_t>& planned_ws) const;
   void ExecuteSwapGroups(const SwapGroups& groups, SimTime now, Actuator& act,
                          PlanActions& actions) const;
-  void MaybeCommitVacatePlan(SimTime now, Actuator& act, PlanActions& actions,
-                             const VacatePlan& best) const;
   // Executes the incremental drain from `source_id` (kNoHost = nothing to
   // drain): the completion-feasibility gate plus the per-VM moves, whose
   // destination scans stay live because each move mutates the cluster.

@@ -12,7 +12,10 @@
 //
 // A strategy holds no state of its own and receives nothing but a view and
 // an actuator, so by construction it can neither touch a host directly nor
-// smuggle information between intervals.
+// smuggle information between intervals. (Two declared carve-outs, both
+// documented in strategy.h: derived scan caches rebuildable from the view,
+// and PredictiveStrategy's activity forecast, which summarizes only what
+// past views exposed.)
 
 #ifndef OASIS_SRC_CLUSTER_VIEW_H_
 #define OASIS_SRC_CLUSTER_VIEW_H_

@@ -1,0 +1,19 @@
+#include "src/trace/diurnal_prior.h"
+
+#include "src/trace/trace_stats.h"
+
+namespace oasis {
+
+std::vector<double> EstimateDiurnalPrior(const TraceGeneratorConfig& config,
+                                         DayKind kind, int n_users, uint64_t seed) {
+  TraceGenerator gen(config, seed);
+  TraceSet set = gen.GenerateTraceSet(n_users, kind);
+  std::vector<int> counts = ActiveCountSeries(set);
+  std::vector<double> prior(counts.size(), 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    prior[i] = static_cast<double>(counts[i]) / static_cast<double>(n_users);
+  }
+  return prior;
+}
+
+}  // namespace oasis

@@ -1,0 +1,25 @@
+// Diurnal activity prior — the expected fraction of users active at each
+// 5-minute interval of a day, estimated by Monte-Carlo over the trace
+// generator's own Markov structure. PredictiveStrategy uses it as the shape
+// of its forecast (scaled online by an observed-activity level); the offline
+// oracle has the real day's timeline and doesn't need it.
+
+#ifndef OASIS_SRC_TRACE_DIURNAL_PRIOR_H_
+#define OASIS_SRC_TRACE_DIURNAL_PRIOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace_generator.h"
+
+namespace oasis {
+
+// Mean active fraction per interval over `n_users` generated user-days.
+// Deterministic in (config, kind, n_users, seed); the returned vector has
+// kIntervalsPerDay entries in [0, 1].
+std::vector<double> EstimateDiurnalPrior(const TraceGeneratorConfig& config,
+                                         DayKind kind, int n_users, uint64_t seed);
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_TRACE_DIURNAL_PRIOR_H_

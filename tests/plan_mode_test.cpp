@@ -180,6 +180,20 @@ TEST_F(PlanModeTest, DatacenterDayShardsAgree) {
   }
 }
 
+TEST_F(PlanModeTest, PredictiveStrategyBackendIdentity) {
+  // The predictive strategy wraps the greedy planner and adds forecast
+  // passes that draw from the planning streams only after the base pass
+  // finishes — so it must inherit the full/incremental/verify identity,
+  // jobs-invariance included.
+  SimulationConfig config = PaperRack(ConsolidationPolicy::kFullToPartial,
+                                      DayKind::kWeekday);
+  config.cluster.strategy_name = "predictive";
+  ExpectBackendIdentity(config, "predictive weekday");
+  const uint64_t reference = DigestUnder(config, "full", 1);
+  EXPECT_EQ(DigestUnder(config, "verify", 1), reference)
+      << "predictive: verify mode diverged from the full reference";
+}
+
 TEST_F(PlanModeTest, VerifyModeSurvivesAChaosDay) {
   // verify runs both backends per pass, rewinding the planning streams in
   // between, and exits(2) on the first divergence — so merely completing a

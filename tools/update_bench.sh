@@ -38,4 +38,10 @@ OASIS_BENCH_JSON="$repo/BENCH_sweep.json" \
 OASIS_BENCH_GIT_SHA="$git_sha" \
   "$build/bench/perf_sweep"
 
+# The strategy ablation splices its per-strategy optimality gaps into the
+# same snapshot as a "policy_gaps" member (CI's oracle-gap smoke gate reads
+# it), so it must run after perf_sweep rewrites the file whole.
+OASIS_BENCH_JSON="$repo/BENCH_sweep.json" \
+  "$build/bench/ablation_policy"
+
 echo "update_bench: wrote $repo/BENCH_sweep.json - review 'git diff BENCH_sweep.json'"

@@ -465,8 +465,8 @@ void Actuator::SleepIdleConsolidationHosts(SimTime now) {
       continue;
     }
     ClusterHost& host = *host_ptr;
-    if (host.IsPowered() && !host.HasVms() && host.active_vms() == 0 &&
-        host.outbound_busy_until() <= now) {
+    if (host.s3_capable() && host.IsPowered() && !host.HasVms() &&
+        host.active_vms() == 0 && host.outbound_busy_until() <= now) {
       host.RequestSleep(sim_);
       ++metrics_.host_sleeps;
     }
@@ -475,8 +475,8 @@ void Actuator::SleepIdleConsolidationHosts(SimTime now) {
 
 void Actuator::MaybeSleepHomeHost(SimTime now, HostId host_id) {
   ClusterHost& host = HostOf(host_id);
-  if (!host.IsHomeHost() || !host.IsPowered() || host.HasVms() ||
-      host.active_vms() != 0 || host.outbound_busy_until() > now) {
+  if (!host.s3_capable() || !host.IsHomeHost() || !host.IsPowered() ||
+      host.HasVms() || host.active_vms() != 0 || host.outbound_busy_until() > now) {
     return;
   }
   HostId id = host_id;

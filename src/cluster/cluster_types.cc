@@ -87,7 +87,68 @@ Status ClusterConfig::Validate() const {
       return fault_ok;
     }
   }
+  if (!fleet.empty()) {
+    Status fleet_ok = fleet.Validate();
+    if (!fleet_ok.ok()) {
+      return fleet_ok;
+    }
+    if (fleet.CoveredHosts() > TotalHosts()) {
+      return Status::InvalidArgument(
+          "fleet mix covers " + std::to_string(fleet.CoveredHosts()) +
+          " hosts but the cluster has " + std::to_string(TotalHosts()));
+    }
+    // Every generation assigned to a home range must still fit that home's
+    // own VM population (the class-0 check above, per capacity_scale).
+    for (size_t s = 0, first = 0; s < fleet.segments.size(); ++s) {
+      const FleetSegment& segment = fleet.segments[s];
+      if (static_cast<int>(first) < num_home_hosts) {
+        const HostProfile profile = ResolvedProfile(static_cast<int>(s) + 1);
+        const uint64_t capacity = static_cast<uint64_t>(
+            static_cast<double>(host_memory_bytes) * profile.capacity_scale);
+        if (static_cast<uint64_t>(vms_per_home) * vm_memory_bytes > capacity) {
+          return Status::InvalidArgument(
+              "home hosts of generation '" + segment.generation +
+              "' cannot fit their own VMs: " + std::to_string(vms_per_home) +
+              " x " + FormatBytes(vm_memory_bytes) + " > " +
+              FormatBytes(capacity));
+        }
+      }
+      first += static_cast<size_t>(segment.count);
+    }
+  }
   return Status::Ok();
+}
+
+int ClusterConfig::ProfileClassOf(HostId id) const {
+  int first = 0;
+  for (size_t s = 0; s < fleet.segments.size(); ++s) {
+    first += fleet.segments[s].count;
+    if (id < first) {
+      return static_cast<int>(s) + 1;
+    }
+  }
+  return 0;
+}
+
+HostProfile ClusterConfig::ResolvedProfile(int profile_class) const {
+  if (profile_class <= 0 ||
+      profile_class > static_cast<int>(fleet.segments.size())) {
+    HostProfile profile;
+    profile.power = host_power;
+    return profile;
+  }
+  const HostProfile* found =
+      FindHostGeneration(fleet.segments[profile_class - 1].generation);
+  if (found == nullptr) {  // Validate() rejects this; stay total anyway.
+    HostProfile profile;
+    profile.power = host_power;
+    return profile;
+  }
+  HostProfile profile = *found;
+  if (fleet_power_scale != 1.0) {
+    profile.power = profile.power.Scaled(fleet_power_scale);
+  }
+  return profile;
 }
 
 void ClusterConfig::SetVmsPerHome(int vms) {
@@ -95,12 +156,11 @@ void ClusterConfig::SetVmsPerHome(int vms) {
   vms_per_home = vms;
   host_memory_bytes = static_cast<uint64_t>(128.0 * scale * kGiB);
   // Bigger servers (more DIMMs, more sockets) draw capacity-proportional
-  // power in every state; the memory server board stays the same.
-  host_power.idle_watts *= scale;
-  host_power.watts_at_20_vms *= scale;
-  host_power.sleep_watts *= scale;
-  host_power.suspend_watts *= scale;
-  host_power.resume_watts *= scale;
+  // power in every state; the memory server board stays the same. Catalog
+  // generations resolve through fleet_power_scale so a resized cluster
+  // rescales its whole fleet coherently.
+  host_power = host_power.Scaled(scale);
+  fleet_power_scale *= scale;
 }
 
 }  // namespace oasis

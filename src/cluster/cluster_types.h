@@ -12,6 +12,7 @@
 #include "src/fault/fault.h"
 #include "src/hyper/vm.h"
 #include "src/mem/working_set.h"
+#include "src/power/host_profile.h"
 #include "src/power/power_model.h"
 
 namespace oasis {
@@ -117,6 +118,15 @@ struct ClusterConfig {
   ClusterTimings timings;
   TrafficVolumes volumes;
   HostPowerProfile host_power;
+  // Per-host hardware generations (src/power/host_profile.h). Fleet
+  // segments cover hosts [0, CoveredHosts()) in order; every host past the
+  // covered prefix — and the whole cluster when the mix is empty, the
+  // default — resolves to profile class 0, whose power curve is exactly
+  // `host_power`. Class 0 keeps the homogeneous cluster byte-identical to
+  // the pre-fleet code path; catalog generations additionally pick up the
+  // compounded SetVmsPerHome scale via `fleet_power_scale`.
+  FleetMix fleet;
+  double fleet_power_scale = 1.0;
   MemoryServerProfile memory_server_power;
   WorkingSetDistribution working_set;
   uint64_t seed = 42;
@@ -126,6 +136,20 @@ struct ClusterConfig {
 
   int TotalVms() const { return num_home_hosts * vms_per_home; }
   int TotalHosts() const { return num_home_hosts + num_consolidation_hosts; }
+
+  // --- fleet resolution -----------------------------------------------------
+  // Profile classes: 0 is the default (host_power, S3-capable, scale 1.0);
+  // class c >= 1 is fleet segment c-1's catalog generation. Strategies price
+  // plans per class with integer counts so a single-class fleet folds to the
+  // exact legacy arithmetic.
+  int NumProfileClasses() const {
+    return 1 + static_cast<int>(fleet.segments.size());
+  }
+  int ProfileClassOf(HostId id) const;
+  HostProfile ResolvedProfile(int profile_class) const;
+  HostProfile HostProfileFor(HostId id) const {
+    return ResolvedProfile(ProfileClassOf(id));
+  }
 
   // Rejects configurations the simulation cannot represent, most notably a
   // home host without enough memory for its own VMs.

@@ -3,26 +3,32 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/check/check.h"
 #include "src/common/log.h"
 
 namespace oasis {
 
 ClusterHost::ClusterHost(HostId id, HostRole role, const ClusterConfig& config,
                          bool initially_powered)
+    : ClusterHost(id, role, config, config.HostProfileFor(id), initially_powered) {}
+
+ClusterHost::ClusterHost(HostId id, HostRole role, const ClusterConfig& config,
+                         const HostProfile& profile, bool initially_powered)
     : id_(id),
       role_(role),
-      power_(config.host_power),
+      power_(profile.power),
+      s3_capable_(profile.s3_capable),
+      profile_class_(config.ProfileClassOf(id)),
       ms_watts_(config.memory_server_power.TotalWatts()),
       capacity_bytes_(static_cast<uint64_t>(static_cast<double>(config.host_memory_bytes) *
-                                            config.memory_overcommit)),
-      state_(initially_powered ? HostPowerState::kPowered : HostPowerState::kSleeping),
-      meter_(SimTime::Zero(),
-             config.host_power.Draw(initially_powered ? HostPowerState::kPowered
-                                                      : HostPowerState::kSleeping,
-                                    0)),
+                                            config.memory_overcommit *
+                                            profile.capacity_scale)),
+      // An S3-incapable host has no sleeping state to start in.
+      state_(initially_powered || !profile.s3_capable ? HostPowerState::kPowered
+                                                      : HostPowerState::kSleeping),
+      meter_(SimTime::Zero(), power_.Draw(state_, 0)),
       ms_meter_(SimTime::Zero(), 0.0),
-      ledger_(SimTime::Zero(),
-              initially_powered ? HostPowerState::kPowered : HostPowerState::kSleeping) {
+      ledger_(SimTime::Zero(), state_) {
   ledger_.set_trace_host(static_cast<int64_t>(id));
 }
 
@@ -63,6 +69,13 @@ Watts ClusterHost::CurrentDraw() const {
 }
 
 void ClusterHost::Transition(SimTime now, HostPowerState next) {
+  if (next == HostPowerState::kSuspending && !s3_capable_) {
+    if (check::InvariantChecker* c = check::InvariantChecker::IfEnabled()) {
+      c->Report("power.s3_on_incapable_host", now,
+                "host " + std::to_string(id_) +
+                    " entered kSuspending but its profile has s3_capable=false");
+    }
+  }
   state_ = next;
   ledger_.Transition(now, next);
   meter_.SetDraw(now, CurrentDraw());

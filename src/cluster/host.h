@@ -18,6 +18,12 @@ namespace oasis {
 
 class ClusterHost {
  public:
+  // Resolves the host's own hardware profile from the config's fleet mix
+  // (config.HostProfileFor(id)) — the host's copy is authoritative: power
+  // draw, S3 latencies, capacity and S3 capability all come from it, never
+  // from config.host_power directly. An S3-incapable host ignores
+  // `initially_powered = false` and starts the day powered (it has no
+  // sleeping state to start in).
   ClusterHost(HostId id, HostRole role, const ClusterConfig& config, bool initially_powered);
 
   HostId id() const { return id_; }
@@ -30,6 +36,19 @@ class ClusterHost {
   HostPowerState power_state() const { return state_; }
   bool IsPowered() const { return state_ == HostPowerState::kPowered; }
   bool IsAsleep() const { return state_ == HostPowerState::kSleeping; }
+
+  // --- Hardware profile ---------------------------------------------------
+  // The host's resolved power curve + S3 latencies (class 0 == the config's
+  // host_power). Strategies price per-host savings from these, never from
+  // the global profile.
+  const HostPowerProfile& power_profile() const { return power_; }
+  // false: this host may sponsor guests but can never enter S3. The planner
+  // and actuator both gate on it; a kSuspending transition anyway is an
+  // invariant violation ("power.s3_on_incapable_host").
+  bool s3_capable() const { return s3_capable_; }
+  // Index into ClusterConfig::ResolvedProfile — strategies bucket pricing
+  // by class so homogeneous fleets keep the legacy count*value arithmetic.
+  int profile_class() const { return profile_class_; }
 
   // --- Capacity ---------------------------------------------------------
   uint64_t capacity_bytes() const { return capacity_bytes_; }
@@ -104,6 +123,8 @@ class ClusterHost {
   void AdvanceLedger(SimTime now) { ledger_.Advance(now); }
 
  private:
+  ClusterHost(HostId id, HostRole role, const ClusterConfig& config,
+              const HostProfile& profile, bool initially_powered);
   void Transition(SimTime now, HostPowerState next);
   Watts CurrentDraw() const;
 
@@ -111,6 +132,8 @@ class ClusterHost {
   HostRole role_;
   DirtyTracker* dirty_ = nullptr;
   HostPowerProfile power_;
+  bool s3_capable_ = true;
+  int profile_class_ = 0;
   Watts ms_watts_;
   uint64_t capacity_bytes_;
   uint64_t reserved_bytes_ = 0;

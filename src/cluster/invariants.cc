@@ -118,13 +118,25 @@ void CheckClusterInvariants(const ClusterManager& manager, SimTime now,
     // ...and the meter's integral must sit inside the envelope the power
     // model allows for that state mix: powered draw is bounded by the idle
     // and 20-VM measurements, the transition and sleep states are fixed
-    // draws.
-    const HostPowerProfile& p = config.host_power;
+    // draws. The bounds come from the host's *own* resolved profile, so the
+    // envelope stays exact on heterogeneous fleets.
+    const HostPowerProfile& p = host.power_profile();
     const StateTimeLedger& ledger = host.ledger();
     double powered_s = ledger.TimeInAt(HostPowerState::kPowered, now).seconds();
     double suspend_s = ledger.TimeInAt(HostPowerState::kSuspending, now).seconds();
     double resume_s = ledger.TimeInAt(HostPowerState::kResuming, now).seconds();
     double sleep_s = ledger.TimeInAt(HostPowerState::kSleeping, now).seconds();
+    // An S3-incapable host must never have spent a microsecond suspending —
+    // the transition itself also reports (power.s3_on_incapable_host), this
+    // walk catches any path that skipped Transition's gate.
+    checker.Expect(host.s3_capable() || suspend_s == 0.0,
+                   "power.s3_on_incapable_host", now,
+                   [&] {
+                     return "host " + std::to_string(host.id()) +
+                            " is s3_capable=false but spent " +
+                            std::to_string(suspend_s) + " s in kSuspending";
+                   },
+                   obs::TraceArgs{H(host.id())});
     double fixed = suspend_s * p.suspend_watts + resume_s * p.resume_watts +
                    sleep_s * p.sleep_watts;
     double lo = fixed + powered_s * p.idle_watts;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/check/check.h"
 #include "src/cluster/invariants.h"
@@ -113,6 +114,15 @@ ClusterMetrics ClusterManager::Run() {
     CheckClusterInvariants(*this, end, *c);
   }
   metrics_.baseline_energy = BaselineEnergy(config_, trace_);
+  metrics_.hosts_by_class.assign(static_cast<size_t>(config_.NumProfileClasses()), 0);
+  metrics_.host_sleep_seconds_by_class.assign(
+      static_cast<size_t>(config_.NumProfileClasses()), 0.0);
+  for (const auto& host : state_.hosts) {
+    size_t cls = static_cast<size_t>(host->profile_class());
+    ++metrics_.hosts_by_class[cls];
+    metrics_.host_sleep_seconds_by_class[cls] +=
+        host->ledger().TimeInAt(HostPowerState::kSleeping, end).seconds();
+  }
   metrics_.faults_injected = fault_.TotalInjected();
   metrics_.faults_recovered = fault_.TotalRecovered();
   for (int c = 0; c < kNumFaultClasses; ++c) {
@@ -128,10 +138,24 @@ ClusterMetrics ClusterManager::Run() {
 Joules ClusterManager::BaselineEnergy(const ClusterConfig& config, const TraceSet& trace) {
   // Every home host stays powered all day running its own VMs (§5.3's
   // normalization). The draw saturates with the resident VM count, so the
-  // baseline is flat regardless of user activity.
+  // baseline is flat regardless of user activity. On a mixed fleet each
+  // home is billed at its own generation's loaded draw; the per-class fold
+  // reduces to the legacy single product on the homogeneous default.
   (void)trace;
-  Watts per_host = config.host_power.Draw(HostPowerState::kPowered, config.vms_per_home);
-  return EnergyOver(per_host * config.num_home_hosts, SimTime::Hours(24.0));
+  std::vector<int> homes_in_class(config.NumProfileClasses(), 0);
+  for (int h = 0; h < config.num_home_hosts; ++h) {
+    ++homes_in_class[config.ProfileClassOf(static_cast<HostId>(h))];
+  }
+  Watts total = 0.0;
+  for (int cls = 0; cls < config.NumProfileClasses(); ++cls) {
+    if (homes_in_class[cls] == 0) {
+      continue;
+    }
+    const HostProfile profile = config.ResolvedProfile(cls);
+    total += profile.power.Draw(HostPowerState::kPowered, config.vms_per_home) *
+             homes_in_class[cls];
+  }
+  return EnergyOver(total, SimTime::Hours(24.0));
 }
 
 void ClusterManager::OnInterval(SimTime now, int interval) {

@@ -52,6 +52,13 @@ struct ClusterMetrics {
   // Fig 10: transfer volumes by category.
   TrafficAccounting traffic;
 
+  // Heterogeneous fleets: per-profile-class breakdown, indexed by
+  // ClusterConfig profile class (0 = the host_power template, k >= 1 the
+  // k-th FleetMix segment). Filled once at the end of a run from the hosts'
+  // own ledgers; both have NumProfileClasses() entries.
+  std::vector<int> hosts_by_class;
+  std::vector<double> host_sleep_seconds_by_class;
+
   // Operational counters.
   uint64_t full_migrations = 0;
   uint64_t partial_migrations = 0;

@@ -16,6 +16,17 @@ constexpr double kIntervalSeconds = static_cast<double>(kTraceIntervalSeconds);
 
 // The day's activity and cost constants, precomputed once per Solve so the
 // annealer's inner loop is pure arithmetic.
+//
+// Heterogeneous fleets: every per-home rate lives in a per-profile-class
+// table (class 0 is the config.host_power template, class k >= 1 the k-th
+// FleetMix segment). On the homogeneous default there is exactly one class
+// holding the same values the old scalar fields held, and every fold below
+// visits it alone — so the uniform digests pinned in the goldens are
+// reproduced bit for bit. The consolidation tier keeps scalar rates: hosts
+// there are interchangeable in this model, so on a mixed fleet they are
+// priced *optimistically* (cheapest generation's idle/per-VM/sleep draw,
+// largest capacity) — that keeps both the relaxation and the annealed
+// schedule value lower bounds of their real-fleet counterparts.
 struct DayModel {
   int num_homes;
   int num_cons;
@@ -23,15 +34,22 @@ struct DayModel {
   int intervals;
   uint64_t cons_capacity;  // effective bytes per consolidation host
   int active_slots;        // MaxActiveVmsPerHost
-  double loaded_w;         // powered home draw (saturated Table 1 rate)
-  double sleep_w;
   double ms_w;
   double cons_idle_w;
   double per_vm_w;
-  double suspend_j;  // one S3 entry transition
-  double resume_j;   // one S3 exit transition
+  double cons_sleep_w;
   double partial_mig_s;
   double full_mig_s;
+
+  // Per profile class (size num_classes).
+  int num_classes = 1;
+  std::vector<int> homes_in_class;
+  std::vector<double> class_loaded_w;  // powered home draw (saturated rate)
+  std::vector<double> class_sleep_w;
+  std::vector<double> class_suspend_j;  // one S3 entry transition
+  std::vector<double> class_resume_j;   // one S3 exit transition
+  std::vector<uint8_t> class_sleepable;
+  std::vector<int> home_class;  // per home
 
   // Per (home, interval), flattened h * intervals + t.
   std::vector<int> active_count;
@@ -42,6 +60,9 @@ struct DayModel {
     return static_cast<size_t>(h) * static_cast<size_t>(intervals) +
            static_cast<size_t>(t);
   }
+  bool Sleepable(int h) const {
+    return class_sleepable[static_cast<size_t>(home_class[static_cast<size_t>(h)])] != 0;
+  }
 };
 
 DayModel BuildModel(const ClusterConfig& config, const TraceSet& trace,
@@ -51,19 +72,75 @@ DayModel BuildModel(const ClusterConfig& config, const TraceSet& trace,
   m.num_cons = config.num_consolidation_hosts;
   m.vms_per_home = config.vms_per_home;
   m.intervals = kIntervalsPerDay;
-  m.cons_capacity = static_cast<uint64_t>(
-      static_cast<double>(config.host_memory_bytes) * config.memory_overcommit);
   m.active_slots = config.MaxActiveVmsPerHost();
-  const HostPowerProfile& p = config.host_power;
-  m.loaded_w = p.Draw(HostPowerState::kPowered, config.vms_per_home);
-  m.sleep_w = p.sleep_watts;
   m.ms_w = config.memory_server_power.TotalWatts();
-  m.cons_idle_w = p.idle_watts;
-  m.per_vm_w = p.PerVmWatts();
-  m.suspend_j = p.suspend_latency.seconds() * p.suspend_watts;
-  m.resume_j = p.resume_latency.seconds() * p.resume_watts;
   m.partial_mig_s = config.timings.partial_migration.seconds();
   m.full_mig_s = config.timings.full_migration.seconds();
+
+  // Per-class home rates.
+  m.num_classes = config.NumProfileClasses();
+  m.homes_in_class.assign(static_cast<size_t>(m.num_classes), 0);
+  m.home_class.resize(static_cast<size_t>(m.num_homes));
+  for (int h = 0; h < m.num_homes; ++h) {
+    int cls = config.ProfileClassOf(static_cast<HostId>(h));
+    m.home_class[static_cast<size_t>(h)] = cls;
+    ++m.homes_in_class[static_cast<size_t>(cls)];
+  }
+  for (int cls = 0; cls < m.num_classes; ++cls) {
+    const HostProfile profile = config.ResolvedProfile(cls);
+    const HostPowerProfile& p = profile.power;
+    m.class_loaded_w.push_back(p.Draw(HostPowerState::kPowered, config.vms_per_home));
+    m.class_sleep_w.push_back(p.sleep_watts);
+    m.class_suspend_j.push_back(p.suspend_latency.seconds() * p.suspend_watts);
+    m.class_resume_j.push_back(p.resume_latency.seconds() * p.resume_watts);
+    m.class_sleepable.push_back(profile.s3_capable ? 1 : 0);
+  }
+
+  // Consolidation-tier scalars: optimistic over the classes that actually
+  // cover consolidation-host ids (see the struct comment). A uniform fleet
+  // visits class 0 alone, reproducing the legacy constants exactly.
+  double cons_idle = 0.0;
+  double cons_per_vm = 0.0;
+  double cons_sleep = 0.0;
+  double cons_scale = 1.0;
+  bool first_cons_class = true;
+  std::vector<uint8_t> class_has_cons(static_cast<size_t>(m.num_classes), 0);
+  for (int c = 0; c < m.num_cons; ++c) {
+    class_has_cons[static_cast<size_t>(
+        config.ProfileClassOf(static_cast<HostId>(m.num_homes + c)))] = 1;
+  }
+  for (int cls = 0; cls < m.num_classes; ++cls) {
+    if (class_has_cons[static_cast<size_t>(cls)] == 0) {
+      continue;
+    }
+    const HostProfile profile = config.ResolvedProfile(cls);
+    const HostPowerProfile& p = profile.power;
+    if (first_cons_class) {
+      cons_idle = p.idle_watts;
+      cons_per_vm = p.PerVmWatts();
+      cons_sleep = p.sleep_watts;
+      cons_scale = profile.capacity_scale;
+      first_cons_class = false;
+    } else {
+      cons_idle = std::min(cons_idle, p.idle_watts);
+      cons_per_vm = std::min(cons_per_vm, p.PerVmWatts());
+      cons_sleep = std::min(cons_sleep, p.sleep_watts);
+      cons_scale = std::max(cons_scale, profile.capacity_scale);
+    }
+  }
+  if (first_cons_class) {
+    // No consolidation hosts at all: keep the class-0 template rates so the
+    // (never-exercised) cons terms stay defined.
+    cons_idle = config.host_power.idle_watts;
+    cons_per_vm = config.host_power.PerVmWatts();
+    cons_sleep = config.host_power.sleep_watts;
+  }
+  m.cons_idle_w = cons_idle;
+  m.per_vm_w = cons_per_vm;
+  m.cons_sleep_w = cons_sleep;
+  m.cons_capacity = static_cast<uint64_t>(
+      static_cast<double>(config.host_memory_bytes) * config.memory_overcommit *
+      cons_scale);
 
   size_t cells = static_cast<size_t>(m.num_homes) * static_cast<size_t>(m.intervals);
   m.active_count.assign(cells, 0);
@@ -89,10 +166,11 @@ DayModel BuildModel(const ClusterConfig& config, const TraceSet& trace,
   return m;
 }
 
-// Cluster draw at one interval given the sleeping-home aggregates. Sets
+// Cluster draw at one interval given the sleeping-home aggregates
+// (`sleeping_by_class` points at m.num_classes per-class counts). Sets
 // *feasible to whether the parked load fits the consolidation tier.
-double PowerAt(const DayModel& m, int sleeping, int parked_active, int parked_idle,
-               uint64_t parked_bytes, int ms_on, bool* feasible) {
+double PowerAt(const DayModel& m, const int* sleeping_by_class, int parked_active,
+               int parked_idle, uint64_t parked_bytes, int ms_on, bool* feasible) {
   uint64_t by_bytes =
       parked_bytes == 0 ? 0 : (parked_bytes + m.cons_capacity - 1) / m.cons_capacity;
   int by_cpu = parked_active == 0
@@ -104,12 +182,23 @@ double PowerAt(const DayModel& m, int sleeping, int parked_active, int parked_id
   }
   cons = std::min(cons, m.num_cons);
   double residents = static_cast<double>(parked_active + parked_idle);
-  return static_cast<double>(m.num_homes - sleeping) * m.loaded_w +
-         static_cast<double>(sleeping) * m.sleep_w +
-         static_cast<double>(ms_on) * m.ms_w +
+  // Per-class home draw: awake homes at their own loaded rate, sleeping
+  // ones at their own S3 rate. One class on a uniform fleet, so the fold
+  // is the legacy two-term expression bit for bit.
+  double home_w = 0.0;
+  for (int cls = 0; cls < m.num_classes; ++cls) {
+    size_t c = static_cast<size_t>(cls);
+    int slp = sleeping_by_class[cls];
+    if (m.homes_in_class[c] == 0 && slp == 0) {
+      continue;
+    }
+    home_w += static_cast<double>(m.homes_in_class[c] - slp) * m.class_loaded_w[c] +
+              static_cast<double>(slp) * m.class_sleep_w[c];
+  }
+  return home_w + static_cast<double>(ms_on) * m.ms_w +
          static_cast<double>(cons) * m.cons_idle_w +
          m.per_vm_w * std::min(residents, 20.0 * cons) +
-         static_cast<double>(m.num_cons - cons) * m.sleep_w;
+         static_cast<double>(m.num_cons - cons) * m.cons_sleep_w;
 }
 
 // Whole-day schedule state with incrementally maintained per-interval
@@ -118,7 +207,10 @@ struct Schedule {
   const DayModel* m;
   // rows[h][t] = 1 while home h sleeps.
   std::vector<std::vector<uint8_t>> rows;
-  std::vector<int> sleeping;       // per t
+  // Per t: how many homes of each profile class sleep (flattened
+  // t * num_classes + cls). Integer per-class counts keep every
+  // incremental move exactly reversible, mixed fleet or not.
+  std::vector<int> sleeping_by_class;
   std::vector<int> parked_active;  // per t
   std::vector<int> parked_idle;    // per t
   std::vector<uint64_t> parked_bytes;
@@ -132,7 +224,9 @@ struct Schedule {
       : m(&model),
         rows(static_cast<size_t>(model.num_homes),
              std::vector<uint8_t>(static_cast<size_t>(model.intervals), 0)),
-        sleeping(static_cast<size_t>(model.intervals), 0),
+        sleeping_by_class(static_cast<size_t>(model.intervals) *
+                              static_cast<size_t>(model.num_classes),
+                          0),
         parked_active(static_cast<size_t>(model.intervals), 0),
         parked_idle(static_cast<size_t>(model.intervals), 0),
         parked_bytes(static_cast<size_t>(model.intervals), 0),
@@ -140,10 +234,16 @@ struct Schedule {
         power(static_cast<size_t>(model.intervals), 0.0),
         trans(static_cast<size_t>(model.num_homes), 0.0) {}
 
+  const int* SleepingAt(int t) const {
+    return &sleeping_by_class[static_cast<size_t>(t) *
+                              static_cast<size_t>(m->num_classes)];
+  }
+
   void AddHomeAt(int h, int t, int sign) {
     size_t at = m->At(h, t);
     size_t ti = static_cast<size_t>(t);
-    sleeping[ti] += sign;
+    sleeping_by_class[ti * static_cast<size_t>(m->num_classes) +
+                      static_cast<size_t>(m->home_class[static_cast<size_t>(h)])] += sign;
     parked_active[ti] += sign * m->active_count[at];
     parked_idle[ti] += sign * (m->vms_per_home - m->active_count[at]);
     if (sign > 0) {
@@ -175,9 +275,11 @@ struct Schedule {
       int n_idle = m->vms_per_home - n_active;
       double mig_s = std::min(kIntervalSeconds, static_cast<double>(n_idle) * m->partial_mig_s +
                                                     static_cast<double>(n_active) * m->full_mig_s);
-      cost += m->suspend_j + mig_s * (m->loaded_w - m->sleep_w);
+      size_t cls = static_cast<size_t>(m->home_class[static_cast<size_t>(h)]);
+      cost += m->class_suspend_j[cls] +
+              mig_s * (m->class_loaded_w[cls] - m->class_sleep_w[cls]);
       if (t < m->intervals) {
-        cost += m->resume_j;
+        cost += m->class_resume_j[cls];
       }
     }
     return cost;
@@ -186,7 +288,7 @@ struct Schedule {
   // Recomputes every derived term from the rows (used after init).
   // Returns false if any interval is infeasible.
   bool RebuildAll() {
-    std::fill(sleeping.begin(), sleeping.end(), 0);
+    std::fill(sleeping_by_class.begin(), sleeping_by_class.end(), 0);
     std::fill(parked_active.begin(), parked_active.end(), 0);
     std::fill(parked_idle.begin(), parked_idle.end(), 0);
     std::fill(parked_bytes.begin(), parked_bytes.end(), 0);
@@ -203,7 +305,7 @@ struct Schedule {
     for (int t = 0; t < m->intervals; ++t) {
       size_t ti = static_cast<size_t>(t);
       bool feasible = true;
-      power[ti] = PowerAt(*m, sleeping[ti], parked_active[ti], parked_idle[ti],
+      power[ti] = PowerAt(*m, SleepingAt(t), parked_active[ti], parked_idle[ti],
                           parked_bytes[ti], ms_on[ti], &feasible);
       all_feasible = all_feasible && feasible;
       power_sum += power[ti];
@@ -225,6 +327,9 @@ struct Schedule {
 void InitSchedule(Schedule& s) {
   const DayModel& m = *s.m;
   for (int h = 0; h < m.num_homes; ++h) {
+    if (!m.Sleepable(h)) {
+      continue;  // an S3-incapable home never sleeps in any schedule
+    }
     int t = 0;
     while (t < m.intervals) {
       if (m.active_count[m.At(h, t)] != 0) {
@@ -250,7 +355,7 @@ void InitSchedule(Schedule& s) {
     size_t ti = static_cast<size_t>(t);
     for (;;) {
       bool feasible = true;
-      (void)PowerAt(m, s.sleeping[ti], s.parked_active[ti], s.parked_idle[ti],
+      (void)PowerAt(m, s.SleepingAt(t), s.parked_active[ti], s.parked_idle[ti],
                     s.parked_bytes[ti], s.ms_on[ti], &feasible);
       if (feasible) {
         break;
@@ -276,28 +381,38 @@ void InitSchedule(Schedule& s) {
 
 double RelaxedLowerBound(const DayModel& m) {
   double total_w = 0.0;
-  std::vector<std::tuple<int, uint64_t, int>> order(static_cast<size_t>(m.num_homes));
+  // Only sleepable homes enter the prefix walk: no real schedule can park
+  // an S3-incapable home, so restricting the relaxation to the sleepable
+  // set keeps it a valid (and tighter) floor on mixed fleets.
+  std::vector<std::tuple<int, uint64_t, int>> order;
+  order.reserve(static_cast<size_t>(m.num_homes));
+  std::vector<int> sleeping(static_cast<size_t>(m.num_classes), 0);
+  const std::vector<int> none(static_cast<size_t>(m.num_classes), 0);
   for (int t = 0; t < m.intervals; ++t) {
+    order.clear();
     for (int h = 0; h < m.num_homes; ++h) {
+      if (!m.Sleepable(h)) {
+        continue;
+      }
       size_t at = m.At(h, t);
-      order[static_cast<size_t>(h)] =
-          std::make_tuple(m.active_count[at], m.parked_bytes[at], h);
+      order.emplace_back(m.active_count[at], m.parked_bytes[at], h);
     }
     std::sort(order.begin(), order.end());
-    int sleeping = 0;
+    std::fill(sleeping.begin(), sleeping.end(), 0);
     int parked_active = 0;
     int parked_idle = 0;
     uint64_t parked = 0;
     int ms = 0;
     bool feasible = true;
-    double best = PowerAt(m, 0, 0, 0, 0, 0, nullptr);  // everything powered
+    double best = PowerAt(m, none.data(), 0, 0, 0, 0, nullptr);  // everything powered
     for (const auto& [a, bytes, h] : order) {
-      ++sleeping;
+      ++sleeping[static_cast<size_t>(m.home_class[static_cast<size_t>(h)])];
       parked_active += a;
       parked_idle += m.vms_per_home - a;
       parked += bytes;
       ms += static_cast<int>(m.parks_idle[m.At(h, t)]);
-      double p = PowerAt(m, sleeping, parked_active, parked_idle, parked, ms, &feasible);
+      double p =
+          PowerAt(m, sleeping.data(), parked_active, parked_idle, parked, ms, &feasible);
       if (!feasible) {
         break;
       }
@@ -323,6 +438,11 @@ void Anneal(Schedule& s, const OracleConfig& cfg, Rng& rng) {
                       rng.NextBelow(static_cast<uint64_t>(cfg.max_move_intervals)));
     int t1 = std::min(m.intervals, t0 + len);
     uint8_t v = static_cast<uint8_t>(rng.NextBelow(2));
+    // All four proposal draws happen before this gate, so the rng sequence
+    // is identical whether or not the fleet has unsleepable homes.
+    if (v != 0 && !m.Sleepable(h)) {
+      continue;
+    }
     std::vector<uint8_t>& row = s.rows[static_cast<size_t>(h)];
 
     changed.clear();
@@ -345,7 +465,7 @@ void Anneal(Schedule& s, const OracleConfig& cfg, Rng& rng) {
       s.AddHomeAt(h, t, sign);
       ++applied;
       bool feasible = true;
-      double p = PowerAt(m, s.sleeping[ti], s.parked_active[ti], s.parked_idle[ti],
+      double p = PowerAt(m, s.SleepingAt(t), s.parked_active[ti], s.parked_idle[ti],
                          s.parked_bytes[ti], s.ms_on[ti], &feasible);
       if (v != 0 && !feasible) {
         infeasible = true;
@@ -416,9 +536,23 @@ OfflineOracle::OfflineOracle(const ClusterConfig& config, OracleConfig oracle_co
 
 OracleResult OfflineOracle::Solve(const TraceSet& trace, uint64_t seed) const {
   OracleResult result;
-  result.baseline_energy = config_.host_power.Draw(HostPowerState::kPowered,
-                                                   config_.vms_per_home) *
-                           config_.num_home_hosts * 24.0 * 3600.0;
+  // Per-class baseline (every home powered all day at its own loaded draw);
+  // one class on the homogeneous default, where the fold is the legacy
+  // draw * num_home_hosts product bit for bit.
+  Watts baseline_w = 0.0;
+  std::vector<int> homes_in_class(static_cast<size_t>(config_.NumProfileClasses()), 0);
+  for (int h = 0; h < config_.num_home_hosts; ++h) {
+    ++homes_in_class[static_cast<size_t>(config_.ProfileClassOf(static_cast<HostId>(h)))];
+  }
+  for (int cls = 0; cls < config_.NumProfileClasses(); ++cls) {
+    if (homes_in_class[static_cast<size_t>(cls)] == 0) {
+      continue;
+    }
+    baseline_w += config_.ResolvedProfile(cls).power.Draw(HostPowerState::kPowered,
+                                                          config_.vms_per_home) *
+                  homes_in_class[static_cast<size_t>(cls)];
+  }
+  result.baseline_energy = baseline_w * 24.0 * 3600.0;
   if (trace.empty() || config_.num_home_hosts == 0) {
     result.schedule_energy = result.baseline_energy;
     result.relaxed_lower_bound = result.baseline_energy;

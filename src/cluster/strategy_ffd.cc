@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/cluster/actuator.h"
+#include "src/cluster/power_delta.h"
 #include "src/cluster/strategy.h"
 
 namespace oasis {
@@ -33,10 +34,10 @@ class FirstFitDecreasingStrategy : public ConsolidationStrategy {
 
   PlanActions PlanInterval(const ClusterView& view, SimTime now, Actuator& act) override {
     PlanActions actions;
-    const ClusterConfig& config = view.config();
 
-    // Eligible homes: powered, occupied, every resident settled here and
-    // trusted-idle. Sample each VM's working set in deterministic order
+    // Eligible homes: powered, S3-capable (a home that cannot sleep saves
+    // nothing by being packed away), occupied, every resident settled here
+    // and trusted-idle. Sample each VM's working set in deterministic order
     // (homes by id, residents in set order) as we go.
     struct Item {
       VmId vm;
@@ -47,7 +48,8 @@ class FirstFitDecreasingStrategy : public ConsolidationStrategy {
     std::vector<Item> items;
     for (size_t h = 0; h < view.num_hosts(); ++h) {
       const ClusterHost& host = view.host(static_cast<HostId>(h));
-      if (!host.IsHomeHost() || !host.IsPowered() || !host.HasVms()) {
+      if (!host.IsHomeHost() || !host.IsPowered() || !host.HasVms() ||
+          !host.s3_capable()) {
         continue;
       }
       bool eligible = true;
@@ -153,16 +155,18 @@ class FirstFitDecreasingStrategy : public ConsolidationStrategy {
     plan.newly_woken_consolidation_hosts =
         static_cast<int>(bin_woken_by_survivor.size());
 
-    // The same §3.1 gate as the greedy strategy: commit only when the plan
-    // saves power net of the consolidation hosts it wakes.
-    const HostPowerProfile& p = config.host_power;
-    Watts loaded = p.Draw(HostPowerState::kPowered, config.vms_per_home);
-    double saved_per_home =
-        loaded - p.sleep_watts - config.memory_server_power.TotalWatts();
-    plan.net_power_delta_watts =
-        static_cast<double>(plan.hosts_to_vacate.size()) * saved_per_home -
-        static_cast<double>(plan.newly_woken_consolidation_hosts) *
-            (loaded - p.sleep_watts);
+    // The same §3.1 gate as the greedy strategy, priced per host profile:
+    // commit only when the plan saves power net of the consolidation hosts
+    // it wakes (power_delta.h keeps the homogeneous fold bit-identical to
+    // the old single-profile arithmetic).
+    power_delta::DeltaAccumulator delta(view);
+    for (HostId home : plan.hosts_to_vacate) {
+      delta.AddVacatedHome(home);
+    }
+    for (const auto& woken : bin_woken_by_survivor) {
+      delta.AddWokenConsolidationHost(woken.first);
+    }
+    plan.net_power_delta_watts = delta.NetWatts();
     if (plan.net_power_delta_watts <= 0.0 || plan.hosts_to_vacate.empty()) {
       return actions;
     }

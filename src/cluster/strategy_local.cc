@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/cluster/actuator.h"
+#include "src/cluster/power_delta.h"
 #include "src/cluster/strategy.h"
 
 namespace oasis {
@@ -43,10 +44,7 @@ class LocalThresholdStrategy : public ConsolidationStrategy {
     if (cons_ids.empty()) {
       return actions;
     }
-    const HostPowerProfile& p = config.host_power;
-    Watts loaded = p.Draw(HostPowerState::kPowered, config.vms_per_home);
-    double saved_per_home =
-        loaded - p.sleep_watts - config.memory_server_power.TotalWatts();
+    const Watts ms_watts = config.memory_server_power.TotalWatts();
 
     int home_index = -1;
     for (size_t h = 0; h < view.num_hosts(); ++h) {
@@ -55,7 +53,10 @@ class LocalThresholdStrategy : public ConsolidationStrategy {
         continue;
       }
       ++home_index;
-      if (!host.IsPowered() || !host.HasVms()) {
+      // The s3 gate rides after ++home_index so skipping an S3-incapable
+      // home (it can never sleep, so parking its VMs frees nothing) does
+      // not shift the static home -> consolidation-host mapping.
+      if (!host.IsPowered() || !host.HasVms() || !host.s3_capable()) {
         continue;
       }
       bool all_idle = true;
@@ -90,8 +91,14 @@ class LocalThresholdStrategy : public ConsolidationStrategy {
       plan.hosts_to_vacate.push_back(host.id());
       plan.placements.push_back(std::move(placements));
       plan.newly_woken_consolidation_hosts = wakes_dest ? 1 : 0;
+      // Priced from the two hosts actually involved: this home's own saving
+      // and this destination's own wake cost (heterogeneous fleets).
       plan.net_power_delta_watts =
-          saved_per_home - (wakes_dest ? (loaded - p.sleep_watts) : 0.0);
+          power_delta::SavedPerHome(host.power_profile(), host.s3_capable(),
+                                    config.vms_per_home, ms_watts) -
+          (wakes_dest
+               ? power_delta::WakeCostWatts(dest.power_profile(), config.vms_per_home)
+               : 0.0);
       act.CommitVacatePlan(now, plan);
       ++actions.vacated_hosts;
       actions.vacate_moves += static_cast<int>(plan.placements[0].size());

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/cluster/actuator.h"
+#include "src/cluster/power_delta.h"
 #include "src/common/rng.h"
 #include "src/mem/working_set.h"
 
@@ -231,6 +232,11 @@ bool OasisGreedyStrategy::HostEligibleForVacate(const ClusterView& view,
   if (!host.IsHomeHost() || !host.IsPowered() || !host.HasVms()) {
     return false;
   }
+  // An S3-incapable home can sponsor guests but never sleeps itself, so
+  // vacating it frees no power — it is never a candidate.
+  if (!host.s3_capable()) {
+    return false;
+  }
   for (VmId id : host.vms()) {
     const VmSlot& vm = view.vm(id);
     if (vm.migration_in_flight || vm.location != host.id()) {
@@ -320,7 +326,6 @@ VacatePlan OasisGreedyStrategy::PlaceAndPrice(const ClusterView& view, SimTime /
                                               const std::vector<Candidate>& candidates,
                                               std::vector<Dest> dests, size_t powered_dests,
                                               const std::vector<uint64_t>& planned_ws) const {
-  const ClusterConfig& config = view.config();
   VacatePlan plan;
   for (const Candidate& cand : candidates) {
     const ClusterHost& host = view.host(cand.host);
@@ -390,23 +395,23 @@ VacatePlan OasisGreedyStrategy::PlaceAndPrice(const ClusterView& view, SimTime /
     plan.placements.push_back(std::move(placement));
   }
 
-  // Net power effect (§3.1: consolidate only when it saves energy): a
-  // vacated home stops drawing its loaded-host power and costs S3 plus the
-  // memory server; every sleeping consolidation host we wake will run loaded.
-  const HostPowerProfile& p = config.host_power;
-  Watts loaded = p.Draw(HostPowerState::kPowered, config.vms_per_home);
-  double saved_per_home =
-      loaded - p.sleep_watts - config.memory_server_power.TotalWatts();
-  int woken = 0;
+  // Net power effect (§3.1: consolidate only when it saves energy), priced
+  // per host profile: a vacated home stops drawing its *own* loaded power
+  // and costs its own S3 draw plus the memory server; every sleeping
+  // consolidation host we wake runs loaded at its own curve. The fold
+  // buckets by profile class (power_delta.h), so the homogeneous default
+  // reproduces the legacy single-profile arithmetic bit for bit.
+  power_delta::DeltaAccumulator delta(view);
+  for (HostId home : plan.hosts_to_vacate) {
+    delta.AddVacatedHome(home);
+  }
   for (const Dest& d : dests) {
     if (d.sleeping && d.used) {
-      ++woken;
+      delta.AddWokenConsolidationHost(d.host);
     }
   }
-  plan.newly_woken_consolidation_hosts = woken;
-  plan.net_power_delta_watts =
-      static_cast<double>(plan.hosts_to_vacate.size()) * saved_per_home -
-      static_cast<double>(woken) * (loaded - p.sleep_watts);
+  plan.newly_woken_consolidation_hosts = delta.total_woken();
+  plan.net_power_delta_watts = delta.NetWatts();
   return plan;
 }
 
@@ -441,7 +446,8 @@ VacatePlan OasisGreedyStrategy::ComputeVacatePlanIncremental(const ClusterView& 
   int num_homes = config.num_home_hosts;
   for (HostId h = 0; h < static_cast<HostId>(num_homes); ++h) {
     const ClusterHost& host = view.host(h);
-    if (!host.IsPowered() || !host.HasVms() || rows_[h].inflight_residents > 0) {
+    if (!host.IsPowered() || !host.HasVms() || !host.s3_capable() ||
+        rows_[h].inflight_residents > 0) {
       continue;
     }
     if (only_partial) {

@@ -126,7 +126,9 @@ void PredictiveStrategy::PreDrainPass(const ClusterView& view, SimTime now, Actu
   int num_homes = config.num_home_hosts;
   for (HostId h = 0; h < static_cast<HostId>(num_homes); ++h) {
     const ClusterHost& host = view.host(h);
-    if (!host.IsPowered() || !host.HasVms()) {
+    // Same s3 gate as HostEligibleForVacate: a home that cannot sleep is
+    // never worth pre-draining.
+    if (!host.IsPowered() || !host.HasVms() || !host.s3_capable()) {
       continue;
     }
     bool eligible = true;

@@ -74,6 +74,14 @@ class ClusterView {
   const ClusterHost& host(HostId id) const { return *state_->hosts[id]; }
   const VmSlot& vm(VmId id) const { return state_->vms[id]; }
 
+  // Per-host hardware profile shortcuts (heterogeneous fleets): the host's
+  // authoritative resolved power curve and S3 capability. Strategies price
+  // savings from these — config().host_power is only the class-0 template.
+  const HostPowerProfile& host_power(HostId id) const {
+    return state_->hosts[id]->power_profile();
+  }
+  bool host_s3_capable(HostId id) const { return state_->hosts[id]->s3_capable(); }
+
   // Idle long enough that the idleness detector trusts it (§3.1's smoothing
   // window over the resource-usage monitor).
   bool TrustedIdle(const VmSlot& vm, SimTime now) const {

@@ -7,6 +7,7 @@
 #include "src/common/rng.h"
 #include "src/dc/runner.h"
 #include "src/dc/topology.h"
+#include "src/power/host_profile.h"
 #include "src/power/power_model.h"
 
 namespace oasis {
@@ -89,12 +90,39 @@ CoordinatorStats GlobalCoordinator::Coordinate(const DatacenterRun& run) const {
   const double interval_s =
       intervals >= 2 ? (t0[1].time - t0[0].time).seconds() : 300.0;
 
-  // Racks run the Table 1 host profile (RackShape has no power knob); an
-  // avoided powered consolidation host sleeps in S3 instead of idling, and
-  // its guests' marginal per-VM draw follows them to the sponsor — so the
-  // delta per avoided host-interval is idle-vs-S3.
-  const HostPowerProfile power;
-  const Watts s3_delta = power.idle_watts - power.sleep_watts;
+  // An avoided powered consolidation host sleeps in S3 instead of idling,
+  // and its guests' marginal per-VM draw follows them to the sponsor — so
+  // the delta per avoided host-interval is idle-vs-S3, priced at each
+  // rack's own generation (pod_generations). A rack built from an
+  // S3-incapable generation cannot park its consolidation tier at all, so
+  // it earns no credit and never starts a drain. With pod_generations
+  // empty every rack uses the Table 1 template, exactly as before.
+  const HostPowerProfile default_power;
+  const Watts default_s3_delta = default_power.idle_watts - default_power.sleep_watts;
+  std::vector<Watts> s3_delta_of(num_racks, default_s3_delta);
+  std::vector<char> s3_capable_of(num_racks, 1);
+  if (!run.config.pod_generations.empty()) {
+    for (size_t i = 0; i < num_racks; ++i) {
+      const std::string& generation =
+          run.config.pod_generations[static_cast<size_t>(racks[i]->pod) %
+                                     run.config.pod_generations.size()];
+      const HostProfile* profile = FindHostGeneration(generation);
+      if (profile == nullptr) {
+        continue;  // Validate() rejects unknown names; keep the default here
+      }
+      s3_capable_of[i] = profile->s3_capable ? 1 : 0;
+      s3_delta_of[i] = profile->s3_capable
+                           ? profile->power.idle_watts - profile->power.sleep_watts
+                           : 0.0;
+    }
+  }
+  // The pooled global-greedy sweep cannot attribute avoided hosts to a
+  // specific rack, so it credits the cheapest delta in the fleet — keeping
+  // the idealized number a bound rather than an overcount.
+  Watts pooled_s3_delta = s3_delta_of[0];
+  for (size_t i = 1; i < num_racks; ++i) {
+    pooled_s3_delta = std::min(pooled_s3_delta, s3_delta_of[i]);
+  }
 
   // Deterministic per-rack cap windows: expected-count rounding plus uniform
   // starts, all drawn from (datacenter seed, rack) — independent of rack
@@ -178,7 +206,7 @@ CoordinatorStats GlobalCoordinator::Coordinate(const DatacenterRun& run) const {
           (parked + capacity - 1) / capacity;
       if (powered > ideal) {
         stats.energy_saved +=
-            static_cast<double>(powered - ideal) * s3_delta * interval_s;
+            static_cast<double>(powered - ideal) * pooled_s3_delta * interval_s;
       }
     }
     return stats;
@@ -261,13 +289,16 @@ CoordinatorStats GlobalCoordinator::Coordinate(const DatacenterRun& run) const {
       }
       ++stats.drain_intervals;
       stats.energy_saved += static_cast<double>(s.powered_consolidation_hosts) *
-                            s3_delta * interval_s;
+                            s3_delta_of[i] * interval_s;
     }
 
     // Phase 2: near-empty racks look for a sponsor and drain.
     for (size_t i = 0; i < num_racks; ++i) {
       if (state[i].drained || extra[i] > 0) {
         continue;  // already drained, or currently sponsoring someone
+      }
+      if (s3_capable_of[i] == 0) {
+        continue;  // its consolidation hosts cannot enter S3 — nothing to save
       }
       const IntervalSnapshot& s = timeline(i, t);
       const int parked = ParkedVms(s);

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/power/host_profile.h"
+
 namespace oasis {
 namespace dc {
 
@@ -23,6 +25,13 @@ Status DatacenterConfig::Validate() const {
     return Status::InvalidArgument("rack.strategy_name '" + rack.strategy_name +
                                    "' names no registered strategy (registered: " +
                                    RegisteredStrategyNamesJoined() + ")");
+  }
+  for (const std::string& generation : pod_generations) {
+    if (FindHostGeneration(generation) == nullptr) {
+      return Status::InvalidArgument("pod_generations names unknown host generation '" +
+                                     generation + "' (catalog: " +
+                                     HostGenerationNames() + ")");
+    }
   }
   return coordinator.Validate();
 }
@@ -70,6 +79,20 @@ StatusOr<DatacenterTopology> DatacenterTopology::Build(const DatacenterConfig& c
     spec.pod = r / config.racks_per_pod;
     spec.sim = shape;
     spec.sim.seed = RackSeed(config.seed, r);
+    // Per-pod hardware: the whole rack is one fleet segment of the pod's
+    // generation. Depends only on (r, racks_per_pod, pod_generations), so
+    // the rack-prefix property holds for hardware exactly as for seeds.
+    if (!config.pod_generations.empty()) {
+      const std::string& generation =
+          config.pod_generations[static_cast<size_t>(spec.pod) %
+                                 config.pod_generations.size()];
+      spec.sim.cluster.fleet.segments = {
+          {generation, config.rack.hosts()}};
+      Status rack_valid = spec.sim.cluster.Validate();
+      if (!rack_valid.ok()) {
+        return rack_valid;
+      }
+    }
     topology.racks_.push_back(std::move(spec));
   }
   return topology;

@@ -63,6 +63,15 @@ struct DatacenterConfig {
   int total_racks = 256;
   int racks_per_pod = 32;
   RackShape rack;
+  // Heterogeneous fleets: when non-empty, pod p's racks are built entirely
+  // from host generation pod_generations[p % size()] (names from the
+  // src/power catalog — datacenters buy hardware by the pod). Empty keeps
+  // every rack on the uniform config.host_power template, byte-identical to
+  // the pre-fleet topology. A rack's generation depends only on its own
+  // index and racks_per_pod — never on total_racks — so small
+  // OASIS_DC_RACKS grids stay exact prefixes of the full datacenter, seeds
+  // and hardware alike.
+  std::vector<std::string> pod_generations;
   uint64_t seed = 20160418;
   CoordinatorConfig coordinator;
 

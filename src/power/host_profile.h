@@ -1,0 +1,85 @@
+// Per-host hardware generations and fleet mixes.
+//
+// The paper evaluates one host: the Table 1 custom S3-capable Supermicro
+// box. Real fleets mix server generations — different power curves, faster
+// or slower S3 transitions, bigger memory, and boxes with no S3 support at
+// all. A HostProfile captures everything the control plane needs to know
+// about one generation; the named catalog below provides the mixes the
+// heterogeneous-fleet bench and tests draw from; a FleetMix assigns
+// consecutive host ranges to generations inside a ClusterConfig.
+//
+// The default fleet (an empty FleetMix) reproduces the homogeneous
+// Table 1 cluster byte for byte: every host resolves to profile class 0,
+// whose power curve IS ClusterConfig::host_power, so all pre-existing
+// goldens and digests are pinned through the new resolution path.
+
+#ifndef OASIS_SRC_POWER_HOST_PROFILE_H_
+#define OASIS_SRC_POWER_HOST_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/power/power_model.h"
+
+namespace oasis {
+
+// One host generation: power curve + S3 suspend/resume latencies (both
+// inside HostPowerProfile), whether the box can enter S3 at all, and its
+// memory capacity relative to the Table 1 reference host.
+//
+// `s3_capable = false` means the host can never transition through
+// kSuspending/kSleeping under control-plane direction: it may sponsor
+// other hosts' VMs but never sleeps itself (the invariant checker rejects
+// any S3 transition on such a host). A crash still drops it to the
+// powered-off ledger state — losing power is not entering S3.
+struct HostProfile {
+  std::string generation = "default";
+  HostPowerProfile power;
+  bool s3_capable = true;
+  double capacity_scale = 1.0;  // host_memory_bytes multiplier
+};
+
+// The named-generation catalog. Three generations span the interesting
+// axes without inventing a config language:
+//
+//   table1        the paper's measured host, byte-identical to the default
+//   efficient-v2  a newer box: lower idle/sleep draw, faster S3, 25% more
+//                 memory — sleeping it saves less (it idles cheap) but
+//                 costs less to cycle
+//   legacy-no-s3  an older box: hungrier at every operating point and no
+//                 S3 support — it can only ever help as a sponsor
+const std::vector<HostProfile>& HostGenerationCatalog();
+
+// nullptr when `name` is not in the catalog.
+const HostProfile* FindHostGeneration(const std::string& name);
+
+// All catalog names, in catalog order (for error messages and probes).
+std::string HostGenerationNames();
+
+// A fleet mix: consecutive host ranges assigned to named generations.
+// Segments cover hosts [0, CoveredHosts()) in declaration order; hosts
+// past the covered prefix — and every host when the mix is empty — run
+// the default profile derived from ClusterConfig::host_power.
+struct FleetSegment {
+  std::string generation;
+  int count = 0;
+};
+
+struct FleetMix {
+  std::vector<FleetSegment> segments;
+
+  bool empty() const { return segments.empty(); }
+  int CoveredHosts() const;
+  // Segment counts positive and every generation name in the catalog.
+  Status Validate() const;
+};
+
+// Parses a "generation:count,generation:count,..." spec (the OASIS_FLEET
+// wire format). An unknown generation or malformed count is an
+// InvalidArgument naming the catalog.
+StatusOr<FleetMix> ParseFleetMix(const std::string& spec);
+
+}  // namespace oasis
+
+#endif  // OASIS_SRC_POWER_HOST_PROFILE_H_

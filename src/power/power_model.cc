@@ -18,6 +18,16 @@ const char* HostPowerStateName(HostPowerState s) {
   return "?";
 }
 
+HostPowerProfile HostPowerProfile::Scaled(double factor) const {
+  HostPowerProfile scaled = *this;
+  scaled.idle_watts *= factor;
+  scaled.watts_at_20_vms *= factor;
+  scaled.sleep_watts *= factor;
+  scaled.suspend_watts *= factor;
+  scaled.resume_watts *= factor;
+  return scaled;
+}
+
 Watts HostPowerProfile::Draw(HostPowerState state, int resident_vms) const {
   switch (state) {
     case HostPowerState::kPowered:

@@ -43,6 +43,11 @@ struct HostPowerProfile {
   // 20-VM measurement — a host packed with VMs draws ~137.9 W whether it
   // hosts 20 or 300.
   Watts Draw(HostPowerState state, int resident_vms) const;
+
+  // A copy with every wattage multiplied by `factor` (latencies unchanged):
+  // the "bigger/smaller box, same silicon generation" transform that
+  // ClusterConfig::SetVmsPerHome applies when resizing the standard host.
+  HostPowerProfile Scaled(double factor) const;
 };
 
 struct MemoryServerProfile {

@@ -118,5 +118,38 @@ TEST_F(OracleTest, GapIsNonNegativeForEveryStrategyAndPredictiveLeadsLocal) {
   EXPECT_GT(savings["predictive"], 0.111);
 }
 
+TEST_F(OracleTest, GapStaysNonNegativeOnAHeterogeneousDay) {
+  // The mixed-generation rack from bench/heterogeneous_fleet: the oracle's
+  // per-class DayModel prices each home at its own curve and never sleeps
+  // the legacy-no-s3 band, so its bound must stay a sound lower bound for
+  // every online strategy on the same fleet — and the bound ordering must
+  // survive the mix.
+  SimulationConfig base;
+  base.cluster.fleet.segments = {
+      {"table1", 10}, {"legacy-no-s3", 10}, {"efficient-v2", 14}};
+  ASSERT_TRUE(base.cluster.Validate().ok());
+  OfflineOracle solver(base.cluster);
+
+  bool solved = false;
+  OracleResult oracle;
+  for (const std::string& name : RegisteredStrategyNames()) {
+    SimulationConfig config = base;
+    config.cluster.strategy_name = name;
+    SimulationResult result = ClusterSimulation(config).Run();
+    if (!solved) {
+      oracle = solver.Solve(result.trace, base.seed);
+      solved = true;
+      EXPECT_GT(oracle.relaxed_lower_bound, 0.0);
+      EXPECT_LE(oracle.relaxed_lower_bound, oracle.schedule_energy);
+      EXPECT_LT(oracle.schedule_energy, oracle.baseline_energy);
+      EXPECT_GT(oracle.ScheduleSavings(), 0.0);
+    }
+    double gap = OptimalityGap(result.metrics.TotalEnergy(), oracle);
+    EXPECT_GE(gap, 0.0)
+        << name << " appears to beat the hindsight oracle on a mixed fleet "
+        << "(gap " << gap << ") — the per-class bound is unsound";
+  }
+}
+
 }  // namespace
 }  // namespace oasis

@@ -36,6 +36,7 @@
 #include "src/core/oasis.h"
 #include "src/exp/exp.h"
 #include "src/fault/fault.h"
+#include "src/power/host_profile.h"
 #include "src/trace/activity_trace.h"
 #include "tests/metric_digest.h"
 
@@ -163,6 +164,53 @@ TEST_F(StrategyConformanceTest, FuzzedShapesHoldTheInvariants) {
           << name << " trial " << t << " (homes=" << config.cluster.num_home_hosts
           << " cons=" << config.cluster.num_consolidation_hosts
           << " vms=" << config.cluster.vms_per_home << " seed=" << config.seed << ")";
+    }
+  }
+}
+
+TEST_F(StrategyConformanceTest, FuzzedFleetMixesHoldTheInvariantsAndNeverSleepNoS3) {
+  // Heterogeneous fleets: random generation mixes drawn from the catalog
+  // over the SmallRack shape. Two contracts on top of the usual zero
+  // violations: no strategy ever suspends an s3_capable=false host (their
+  // per-class sleep ledger must read exactly zero), and S3-capable bands
+  // keep working — the mix degrades savings, never correctness.
+  const int trials = FuzzTrials(4);
+  const std::vector<HostProfile>& catalog = HostGenerationCatalog();
+  uint64_t salt = 0;
+  for (const std::string& name : RegisteredStrategyNames()) {
+    Rng rng(0xF1EE7 + salt++);
+    for (int t = 0; t < trials; ++t) {
+      SimulationConfig config = SmallRack(name);
+      // Carve the 6+2 rack into 1-3 random catalog segments; any remainder
+      // past the covered prefix runs the default class-0 profile.
+      const int segments = 1 + static_cast<int>(rng.NextBelow(3));
+      int hosts_left = config.cluster.TotalHosts();
+      for (int s = 0; s < segments && hosts_left > 0; ++s) {
+        const int count = 1 + static_cast<int>(rng.NextBelow(
+                                  static_cast<uint64_t>(hosts_left)));
+        const std::string& generation =
+            catalog[rng.NextBelow(catalog.size())].generation;
+        config.cluster.fleet.segments.push_back({generation, count});
+        hosts_left -= count;
+      }
+      config.seed = rng.NextU64();
+      ASSERT_TRUE(config.cluster.Validate().ok());
+      SimulationResult result = ClusterSimulation(config).Run();
+      EXPECT_GT(result.metrics.TotalEnergy(), 0.0) << name << " trial " << t;
+      EXPECT_EQ(checker_.violation_count(), 0u)
+          << name << " trial " << t << " seed=" << config.seed;
+      const ClusterMetrics& m = result.metrics;
+      ASSERT_EQ(m.hosts_by_class.size(),
+                static_cast<size_t>(config.cluster.NumProfileClasses()));
+      for (size_t cls = 1; cls < m.hosts_by_class.size(); ++cls) {
+        const FleetSegment& segment = config.cluster.fleet.segments[cls - 1];
+        if (FindHostGeneration(segment.generation)->s3_capable) {
+          continue;
+        }
+        EXPECT_EQ(m.host_sleep_seconds_by_class[cls], 0.0)
+            << name << " trial " << t << ": a " << segment.generation
+            << " host slept despite s3_capable=false (seed=" << config.seed << ")";
+      }
     }
   }
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Regenerates the golden files pinned by the `ctest -L golden` suite
 # (quickstart, fig07, fig08, table3, perf_sweep, datacenter_day,
-# ablation_policy) from the binaries in a build tree:
+# ablation_policy, heterogeneous_fleet) from the binaries in a build tree:
 #
 #   tools/update_golden.sh [build_dir]     # default build dir: ./build
 #
@@ -40,5 +40,6 @@ update table3 bench/table3_memory_server
 update perf_sweep bench/perf_sweep
 update datacenter_day bench/datacenter_day OASIS_DC_RACKS=8
 update ablation_policy bench/ablation_policy
+update heterogeneous_fleet bench/heterogeneous_fleet
 
 echo "update_golden: done - review 'git diff tests/golden/' before committing"
